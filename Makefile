@@ -1,0 +1,41 @@
+# Convenience targets for the SUBSIM/HIST reproduction.
+
+GO ?= go
+
+.PHONY: all build test race cover bench examples experiments quick clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/viralmarketing
+	$(GO) run ./examples/highinfluence
+	$(GO) run ./examples/skewed
+	$(GO) run ./examples/communities
+
+# Regenerate the paper's evaluation (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/imbench -exp all -scale 0.25 -reps 2 -k 1,10,50,100,200,500,1000
+
+# Seconds-long smoke pass over every experiment.
+quick:
+	$(GO) run ./cmd/imbench -quick
+
+clean:
+	rm -f test_output.txt bench_output.txt imbench graph.bin

@@ -1,0 +1,87 @@
+// Command imbench regenerates the paper's evaluation tables and figures
+// (Section 7) on synthetic stand-in datasets.
+//
+// Usage:
+//
+//	imbench [flags]
+//
+// Flags:
+//
+//	-exp     comma-separated experiment ids (table2,fig1,...,fig7) or "all"
+//	-scale   dataset size multiplier (default 1.0; 0.1 for a fast pass)
+//	-reps    repetitions per timing cell (default 3)
+//	-eps     approximation parameter ε (default 0.1)
+//	-seed    RNG seed (default 2020)
+//	-workers RR-generation parallelism (default GOMAXPROCS)
+//	-k       comma-separated k sweep for fig1/fig4/fig5
+//	-quick   tiny datasets and budgets (smoke test, seconds)
+//
+// Example:
+//
+//	imbench -exp fig1,fig4 -scale 0.5 -reps 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"subsim/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiments to run (comma separated ids, or 'all')")
+	scale := flag.Float64("scale", 1.0, "dataset size multiplier")
+	reps := flag.Int("reps", 3, "repetitions per timing cell")
+	eps := flag.Float64("eps", 0.1, "approximation parameter epsilon")
+	seed := flag.Uint64("seed", 2020, "random seed")
+	workers := flag.Int("workers", 0, "RR generation workers (0 = GOMAXPROCS)")
+	ks := flag.String("k", "", "comma-separated k sweep (overrides default)")
+	quick := flag.Bool("quick", false, "tiny smoke-test configuration")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	cfg.Scale = *scale
+	cfg.Reps = *reps
+	cfg.Eps = *eps
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	if *ks != "" {
+		var sweep []int
+		for _, f := range strings.Split(*ks, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || k < 1 {
+				fmt.Fprintf(os.Stderr, "imbench: bad -k entry %q\n", f)
+				os.Exit(2)
+			}
+			sweep = append(sweep, k)
+		}
+		cfg.Ks = sweep
+	}
+
+	ids := bench.ExperimentOrder
+	if *exp != "all" {
+		ids = nil
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if bench.Experiments[id] == nil {
+				fmt.Fprintf(os.Stderr, "imbench: unknown experiment %q (known: %s)\n",
+					id, strings.Join(bench.ExperimentOrder, ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		if _, err := bench.Experiments[id](cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "imbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command imeval evaluates the expected influence of a given seed set on
+// a graph, by forward Monte-Carlo simulation and by an RR-set influence
+// oracle with a certified confidence interval. It can also produce the
+// seed set itself from one of the guarantee-free heuristics, making it a
+// quick quality-floor tool:
+//
+//	imeval -graph g.bin -seeds 12,88,4093
+//	imeval -graph g.bin -heuristic degreediscount -k 100
+//
+// Flags:
+//
+//	-graph     input graph path (from graphgen; text or .bin)
+//	-seeds     comma-separated node ids to evaluate
+//	-seedfile  file with one node id per line (alternative to -seeds)
+//	-heuristic degree | singlediscount | degreediscount | pagerank | onehop | core
+//	-k         seed count when -heuristic is used
+//	-mc        forward simulations (default 10000; 0 = skip)
+//	-rr        RR sets backing the oracle (default 100000; 0 = skip)
+//	-delta     confidence parameter of the oracle interval (default 0.01)
+//	-lt        evaluate under the Linear Threshold model
+//	-seed      RNG seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"subsim"
+	"subsim/internal/seedio"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "input graph path")
+	seedList := flag.String("seeds", "", "comma-separated seed node ids")
+	seedFile := flag.String("seedfile", "", "file with one seed id per line")
+	heuristic := flag.String("heuristic", "", "select seeds with a heuristic instead")
+	k := flag.Int("k", 50, "seed count for -heuristic")
+	mc := flag.Int("mc", 10000, "forward simulations (0 = skip)")
+	rr := flag.Int64("rr", 100000, "oracle RR sets (0 = skip)")
+	delta := flag.Float64("delta", 0.01, "oracle interval confidence parameter")
+	lt := flag.Bool("lt", false, "evaluate under the Linear Threshold model")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "imeval: -graph is required")
+		os.Exit(2)
+	}
+	g, err := subsim.LoadGraph(*graphPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imeval: %v\n", err)
+		os.Exit(1)
+	}
+	if *lt {
+		g.AssignLT()
+	}
+
+	var seeds []int32
+	switch {
+	case *heuristic != "":
+		seeds, err = subsim.SelectHeuristic(g, subsim.Heuristic(*heuristic), *k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imeval: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("heuristic %s selected %d seeds\n", *heuristic, len(seeds))
+	case *seedFile != "":
+		seeds, err = seedio.ReadFile(*seedFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imeval: %v\n", err)
+			os.Exit(1)
+		}
+	case *seedList != "":
+		seeds, err = seedio.ParseList(*seedList)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imeval: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "imeval: provide -seeds, -seedfile or -heuristic")
+		os.Exit(2)
+	}
+	if err := seedio.Validate(seeds, g.N()); err != nil {
+		fmt.Fprintf(os.Stderr, "imeval: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("graph: n=%d m=%d model=%s\n", g.N(), g.M(), g.Model())
+	fmt.Printf("seeds: %d nodes\n", len(seeds))
+
+	model := subsim.IC
+	genKind := subsim.GenSubsim
+	if *lt {
+		model = subsim.LT
+		genKind = subsim.GenLT
+	}
+	if *mc > 0 {
+		spread := subsim.EstimateInfluence(g, seeds, *mc, model, *seed)
+		fmt.Printf("forward MC (%d samples): %.1f (%.2f%% of graph)\n",
+			*mc, spread, 100*spread/float64(g.N()))
+	}
+	if *rr > 0 {
+		o, err := subsim.NewInfluenceOracle(subsim.NewRRGenerator(g, genKind), *rr, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imeval: %v\n", err)
+			os.Exit(1)
+		}
+		lo, hi := o.Interval(seeds, *delta)
+		fmt.Printf("RR oracle (%d sets): estimate %.1f, %.0f%%-interval [%.1f, %.1f]\n",
+			*rr, o.Estimate(seeds), 100*(1-*delta), lo, hi)
+	}
+}

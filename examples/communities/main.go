@@ -1,0 +1,127 @@
+// Community structure: where guarantee-free heuristics break. This
+// example builds a network with a small, very dense community (whose
+// members have the highest degrees in the graph) next to several large,
+// sparse communities. The degree heuristic pours its whole budget into
+// the dense cluster — big degrees, tiny audience — while the certified
+// algorithms spread seeds across communities and reach several times as
+// many users. An RR influence oracle cross-checks every seed set with a
+// confidence interval.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"text/tabwriter"
+
+	"subsim"
+)
+
+const (
+	denseSize   = 500
+	sparseSize  = 2000
+	numSparse   = 5
+	denseP      = 0.16  // in-community edge probability, dense cluster
+	sparseP     = 0.004 // in-community edge probability, sparse clusters
+	crossP      = 0.0   // communities are fully disjoint audiences
+	budget      = 25
+	mcSamples   = 4000
+	oracleSets  = 20000
+	oracleDelta = 0.05
+)
+
+func main() {
+	g := buildCommunityGraph()
+	g.AssignWCVariant(2) // mildly supercritical cascades
+	fmt.Printf("network: %s\n\n", g.ComputeStats())
+
+	// Certified algorithms.
+	results := []struct {
+		name  string
+		seeds []int32
+	}{}
+	for _, alg := range []subsim.Algorithm{subsim.AlgSUBSIM, subsim.AlgHISTSubsim} {
+		res, err := subsim.Maximize(g, alg, subsim.Options{K: budget, Eps: 0.1, Seed: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, struct {
+			name  string
+			seeds []int32
+		}{alg.String(), res.Seeds})
+	}
+	// Guarantee-free heuristics.
+	for _, h := range subsim.Heuristics {
+		seeds, err := subsim.SelectHeuristic(g, h, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, struct {
+			name  string
+			seeds []int32
+		}{"heuristic:" + string(h), seeds})
+	}
+
+	oracle, err := subsim.NewInfluenceOracle(subsim.NewRRGenerator(g, subsim.GenSubsim), oracleSets, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tspread (MC)\toracle interval\tseeds in dense cluster")
+	for _, r := range results {
+		spread := subsim.EstimateInfluence(g, r.seeds, mcSamples, subsim.IC, 6)
+		lo, hi := oracle.Interval(r.seeds, oracleDelta)
+		inDense := 0
+		for _, s := range r.seeds {
+			if int(s) < denseSize {
+				inDense++
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t[%.0f, %.0f]\t%d/%d\n", r.name, spread, lo, hi, inDense, budget)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDegrees lie: the dense cluster's members top every degree ranking but")
+	fmt.Println("can only ever reach their own community. The certified algorithms place")
+	fmt.Println("seeds where marginal reach is, not where degrees are.")
+}
+
+// buildCommunityGraph hand-rolls the planted-community topology with the
+// public Builder API: one dense block followed by numSparse sparse
+// blocks, plus a sprinkle of cross-community edges.
+func buildCommunityGraph() *subsim.Graph {
+	n := denseSize + numSparse*sparseSize
+	r := rand.New(rand.NewPCG(42, 7))
+	b := subsim.NewBuilder(n)
+	addBlock := func(start, size int, p float64) {
+		for u := start; u < start+size; u++ {
+			// Expected p·(size-1) targets per node, sampled directly.
+			targets := r.IntN(int(2*p*float64(size))) + 1
+			for t := 0; t < targets; t++ {
+				v := start + r.IntN(size)
+				if v == u {
+					continue
+				}
+				_ = b.AddEdge(int32(u), int32(v), 0) // duplicates are harmless
+			}
+		}
+	}
+	addBlock(0, denseSize, denseP)
+	for c := 0; c < numSparse; c++ {
+		addBlock(denseSize+c*sparseSize, sparseSize, sparseP)
+	}
+	// Cross edges (none by default: each community is a disjoint
+	// audience, the worst case for degree-chasing heuristics).
+	if crossCount := int(crossP * float64(n) * float64(n)); crossCount > 0 {
+		for i := 0; i < crossCount; i++ {
+			u, v := r.IntN(n), r.IntN(n)
+			if u != v {
+				_ = b.AddEdge(int32(u), int32(v), 0)
+			}
+		}
+	}
+	return b.Build()
+}

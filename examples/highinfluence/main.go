@@ -1,0 +1,66 @@
+// High-influence networks: the regime HIST was designed for. When
+// propagation probabilities are large (here the paper's WC variant
+// min{1, θ/d_in} with θ > 1), random RR sets blow up to a sizeable
+// fraction of the whole graph and classic RR-set algorithms grind. This
+// example sweeps θ and shows how HIST's sentinel trick keeps the average
+// RR set tiny while OPIM-C's balloons — reproducing the dynamics of the
+// paper's Figures 3 and 6 on a single network.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"subsim"
+)
+
+func main() {
+	g, err := subsim.GenPreferentialAttachment(25000, 8, false, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d edges\n\n", g.N(), g.M())
+
+	opt := subsim.Options{K: 100, Eps: 0.1, Seed: 5}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "theta\tOPIM-C time\tOPIM-C avg |R|\tHIST+SUBSIM time\tHIST avg |R|\tsentinels\tspeedup")
+	for _, theta := range []float64{1, 2, 4, 8} {
+		g.AssignWCVariant(theta)
+
+		start := time.Now()
+		opim, err := subsim.Maximize(g, subsim.AlgOPIMC, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opimTime := time.Since(start)
+
+		start = time.Now()
+		hist, err := subsim.Maximize(g, subsim.AlgHISTSubsim, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		histTime := time.Since(start)
+
+		fmt.Fprintf(tw, "%.0f\t%v\t%.1f\t%v\t%.1f\t%d\t%.1fx\n",
+			theta,
+			opimTime.Round(time.Millisecond), opim.RRStats.AvgSize(),
+			histTime.Round(time.Millisecond), hist.RRStats.AvgSize(),
+			hist.SentinelSize,
+			opimTime.Seconds()/histTime.Seconds())
+
+		// Sanity: the cheap seed set must be as good as the expensive one.
+		so := subsim.EstimateInfluence(g, opim.Seeds, 2000, subsim.IC, 6)
+		sh := subsim.EstimateInfluence(g, hist.Seeds, 2000, subsim.IC, 6)
+		if sh < 0.95*so {
+			fmt.Fprintf(os.Stderr, "warning: HIST spread %.0f below OPIM-C %.0f at theta=%.0f\n", sh, so, theta)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAs theta grows, RR sets explode for OPIM-C while HIST's sentinel")
+	fmt.Println("early-exit keeps them small — the higher the influence, the bigger the win.")
+}

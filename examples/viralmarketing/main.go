@@ -1,0 +1,98 @@
+// Viral marketing scenario: a company can give its product to k
+// influencers and wants the campaign that reaches the most users. This
+// example compares every algorithm in the library on the same network —
+// quality (forward-simulated spread) and cost (time, RR sets) — and shows
+// that the budget matters more than the algorithm: all algorithms find
+// near-identical spread, but at wildly different cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"subsim"
+)
+
+func main() {
+	// An undirected friendship network (both directions of each tie),
+	// like the paper's Orkut/Friendster datasets.
+	g, err := subsim.GenPreferentialAttachment(30000, 10, true, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g.AssignWC()
+	fmt.Printf("friendship network: %d users, %d directed ties\n\n", g.N(), g.M())
+
+	const budget = 100 // influencers we can afford
+	opt := subsim.Options{K: budget, Eps: 0.1, Seed: 42}
+
+	algs := []subsim.Algorithm{
+		subsim.AlgIMM,
+		subsim.AlgSSA,
+		subsim.AlgOPIMC,
+		subsim.AlgSUBSIM,
+		subsim.AlgHIST,
+		subsim.AlgHISTSubsim,
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\ttime\tRR sets\tavg |R|\tspread\treach")
+	for _, alg := range algs {
+		res, err := subsim.Maximize(g, alg, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spread := subsim.EstimateInfluence(g, res.Seeds, 5000, subsim.IC, 9)
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%.1f\t%.0f\t%.1f%%\n",
+			alg, res.Elapsed.Round(1000000), res.RRStats.Sets, res.RRStats.AvgSize(),
+			spread, 100*spread/float64(g.N()))
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// How much does seeding strategy matter? Random seeding is far
+	// behind; the top-degree heuristic is competitive on this synthetic
+	// network (degree is an excellent influence proxy under WC) but
+	// comes with no guarantee — on real networks with community
+	// structure its gap widens, which is why the certified algorithms
+	// exist.
+	res, err := subsim.Maximize(g, subsim.AlgHISTSubsim, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	smart := subsim.EstimateInfluence(g, res.Seeds, 5000, subsim.IC, 9)
+	heuristic := subsim.EstimateInfluence(g, topDegree(g, budget), 5000, subsim.IC, 9)
+	random := make([]int32, budget)
+	for i := range random {
+		random[i] = int32(i * g.N() / budget)
+	}
+	rnd := subsim.EstimateInfluence(g, random, 5000, subsim.IC, 9)
+	fmt.Printf("\nspread: optimized %.0f | top-degree heuristic %.0f | random %.0f (%.1fx over random)\n",
+		smart, heuristic, rnd, smart/rnd)
+}
+
+// topDegree returns the k nodes with the highest out-degree.
+func topDegree(g *subsim.Graph, k int) []int32 {
+	type nd struct {
+		v int32
+		d int
+	}
+	best := make([]nd, k)
+	for v := int32(0); v < int32(g.N()); v++ {
+		d := g.OutDegree(v)
+		for i := range best {
+			if d > best[i].d {
+				copy(best[i+1:], best[i:k-1])
+				best[i] = nd{v, d}
+				break
+			}
+		}
+	}
+	seeds := make([]int32, k)
+	for i, b := range best {
+		seeds[i] = b.v
+	}
+	return seeds
+}

@@ -1,0 +1,3 @@
+module subsim
+
+go 1.22

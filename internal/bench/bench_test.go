@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"subsim/internal/graph"
+	"subsim/internal/rng"
+)
+
+func TestDatasetGenerate(t *testing.T) {
+	for _, d := range QuickDatasets() {
+		g, err := d.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if g.N() != d.N {
+			t.Fatalf("%s: n=%d want %d", d.Name, g.N(), d.N)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestDefaultDatasetsScale(t *testing.T) {
+	small := DefaultDatasets(0.01)
+	full := DefaultDatasets(1)
+	if len(small) != 4 || len(full) != 4 {
+		t.Fatal("registry should have 4 stand-ins")
+	}
+	for i := range small {
+		if small[i].N >= full[i].N {
+			t.Fatalf("scale did not shrink %s", small[i].Name)
+		}
+		if small[i].N < 32 {
+			t.Fatalf("scale floor violated: %d", small[i].N)
+		}
+	}
+	if DefaultDatasets(0)[0].N != full[0].N {
+		t.Fatal("scale<=0 should default to 1")
+	}
+}
+
+func TestCalibrateWCVariant(t *testing.T) {
+	g, err := graph.GenPreferentialAttachment(3000, 5, false, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 150
+	theta := CalibrateWCVariant(g, target, 2)
+	if theta <= 0 {
+		t.Fatalf("theta = %v", theta)
+	}
+	got := AvgRRSizeWCVariant(g, theta, 3)
+	if math.Abs(got-target)/target > 0.35 {
+		t.Fatalf("calibrated avg size %v, want ~%v", got, target)
+	}
+}
+
+func TestCalibrateUniform(t *testing.T) {
+	g, err := graph.GenPreferentialAttachment(3000, 5, false, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 100
+	p := CalibrateUniform(g, target, 5)
+	if p <= 0 || p > 1 {
+		t.Fatalf("p = %v", p)
+	}
+	got := AvgRRSizeUniform(g, p, 6)
+	if math.Abs(got-target)/target > 0.35 {
+		t.Fatalf("calibrated avg size %v, want ~%v", got, target)
+	}
+}
+
+func TestCalibrationMonotonicity(t *testing.T) {
+	g, err := graph.GenPreferentialAttachment(2000, 5, false, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := AvgRRSizeWCVariant(g, 0.5, 8)
+	large := AvgRRSizeWCVariant(g, 4, 8)
+	if small >= large {
+		t.Fatalf("avg RR size not increasing in theta: %v vs %v", small, large)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a", "bb", "333"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCellAndSeconds(t *testing.T) {
+	if Cell(0) != "0" || Cell(123.4) != "123" || Cell(1.234) != "1.23" || Cell(0.1234) != "0.1234" {
+		t.Fatalf("Cell formatting: %s %s %s %s", Cell(0), Cell(123.4), Cell(1.234), Cell(0.1234))
+	}
+	if Seconds(12) != "12.0s" || Seconds(0.5) != "0.50s" || Seconds(0.001) != "0.0010s" {
+		t.Fatalf("Seconds formatting: %s %s %s", Seconds(12), Seconds(0.5), Seconds(0.001))
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	for _, id := range ExperimentOrder {
+		if Experiments[id] == nil {
+			t.Fatalf("experiment %s missing", id)
+		}
+	}
+	for _, extra := range []string{"heuristics", "kernels"} {
+		if Experiments[extra] == nil {
+			t.Fatalf("extra experiment %s missing", extra)
+		}
+	}
+}
+
+func TestExtraExperimentsQuick(t *testing.T) {
+	c := QuickConfig()
+	c.Workers = 2
+	c.Fig2Sets = 1000
+	for _, id := range []string{"heuristics", "kernels"} {
+		var buf bytes.Buffer
+		tab, err := Experiments[id](c, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// TestAllExperimentsQuick executes every experiment end-to-end on the
+// quick configuration and sanity-checks the produced tables.
+func TestAllExperimentsQuick(t *testing.T) {
+	c := QuickConfig()
+	c.Workers = 2
+	for _, id := range ExperimentOrder {
+		var buf bytes.Buffer
+		tab, err := Experiments[id](c, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("%s: row width %d != header %d", id, len(row), len(tab.Header))
+			}
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s printed nothing", id)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a printable experiment result: one header row and any number
+// of data rows, rendered with aligned columns. Experiment runners return
+// Tables so tests can assert on their contents and the CLI can print
+// them.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one data row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Header) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+		underline := make([]string, len(t.Header))
+		for i, h := range t.Header {
+			underline[i] = strings.Repeat("-", len(h))
+		}
+		fmt.Fprintln(tw, strings.Join(underline, "\t"))
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Cell formats a float with three significant-ish decimals, trimming
+// noise for table output.
+func Cell(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Seconds formats a duration in seconds with adaptive precision.
+func Seconds(s float64) string {
+	switch {
+	case s >= 10:
+		return fmt.Sprintf("%.1fs", s)
+	case s >= 0.1:
+		return fmt.Sprintf("%.2fs", s)
+	default:
+		return fmt.Sprintf("%.4fs", s)
+	}
+}

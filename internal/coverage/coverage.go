@@ -1,0 +1,322 @@
+// Package coverage implements the max-coverage machinery that turns a
+// collection of random RR sets into a seed set: an inverted index from
+// node to the RR sets containing it, the greedy algorithm of the paper's
+// Algorithm 1 with CELF-style lazy marginal evaluation, the Revised
+// Greedy out-degree tie-break of Algorithm 6, and the coverage upper
+// bound Λᵘ (the maxMC prefix bound feeding Equation 2).
+package coverage
+
+import (
+	"container/heap"
+	"sort"
+
+	"subsim/internal/rrset"
+)
+
+// Index is an append-only collection of RR sets with a node→sets inverted
+// index. Greedy selection runs are independent: they do not mutate the
+// index permanently, so the same Index can be queried repeatedly as it
+// grows (the doubling loops of IMM/OPIM-C/HIST rely on this).
+//
+// Index is not safe for concurrent mutation; build it single-threaded or
+// guard it externally. Selection runs are single-threaded.
+type Index struct {
+	n        int
+	outDeg   []int32 // optional out-degrees for the Revised-Greedy tie-break
+	sets     []rrset.RRSet
+	nodeSets [][]int32 // node -> ids of RR sets containing it
+
+	covered []uint32 // per-set stamp; covered in run r iff covered[i] == r
+	run     uint32
+}
+
+// NewIndex returns an empty index over n nodes. outDeg, when non-nil,
+// supplies the out-degrees used by the Revised-Greedy tie-break; it must
+// have length n.
+func NewIndex(n int, outDeg []int32) *Index {
+	if outDeg != nil && len(outDeg) != n {
+		panic("coverage: outDeg length mismatch")
+	}
+	return &Index{
+		n:        n,
+		outDeg:   outDeg,
+		nodeSets: make([][]int32, n),
+	}
+}
+
+// Add appends one RR set to the index.
+func (x *Index) Add(set rrset.RRSet) {
+	id := int32(len(x.sets))
+	x.sets = append(x.sets, set)
+	x.covered = append(x.covered, 0)
+	for _, v := range set {
+		x.nodeSets[v] = append(x.nodeSets[v], id)
+	}
+}
+
+// NumSets returns the number of RR sets indexed.
+func (x *Index) NumSets() int { return len(x.sets) }
+
+// N returns the number of nodes the index is defined over.
+func (x *Index) N() int { return x.n }
+
+// Degree returns the number of indexed RR sets containing v, i.e. the
+// marginal coverage of v with respect to the empty seed set.
+func (x *Index) Degree(v int32) int { return len(x.nodeSets[v]) }
+
+// CoverageOf returns Λ(S): the number of indexed RR sets intersecting the
+// seed set.
+func (x *Index) CoverageOf(seeds []int32) int64 {
+	x.newRun()
+	var cov int64
+	for _, v := range seeds {
+		for _, id := range x.nodeSets[v] {
+			if x.covered[id] != x.run {
+				x.covered[id] = x.run
+				cov++
+			}
+		}
+	}
+	return cov
+}
+
+func (x *Index) newRun() {
+	x.run++
+	if x.run == 0 {
+		for i := range x.covered {
+			x.covered[i] = 0
+		}
+		x.run = 1
+	}
+}
+
+// GreedyOptions configures one seed-selection run.
+type GreedyOptions struct {
+	// K is the number of seeds to select (clamped to the node count).
+	K int
+	// Revised enables the Algorithm 6 tie-break: among nodes with the
+	// same marginal coverage, prefer the larger out-degree. It requires
+	// the index to have been built with out-degrees.
+	Revised bool
+	// Base is coverage already guaranteed outside this index — in HIST's
+	// second phase, the number of RR sets that terminated on a sentinel.
+	// It is added to the reported coverages and the upper bound.
+	Base int64
+	// TopL is the number of largest marginal coverages summed in the Λᵘ
+	// prefix bound; it defaults to K. HIST's second phase selects k-b
+	// seeds but bounds the size-k optimum, so it passes TopL = k.
+	TopL int
+	// Exclude marks nodes (indexed by id) that must not be selected —
+	// HIST's second phase excludes the sentinel set, which would
+	// otherwise be re-picked as zero-gain nodes via the out-degree
+	// tie-break.
+	Exclude []bool
+}
+
+// GreedyResult is the outcome of a selection run.
+type GreedyResult struct {
+	// Seeds are the selected nodes in pick order (length min(K, n)).
+	Seeds []int32
+	// Coverage[i] is Base + Λ(S*_{i+1}), the coverage of the first i+1
+	// seeds.
+	Coverage []int64
+	// CoverageUpper is Λᵘ: an upper bound on Base + Λ(S) for any seed
+	// set of size TopL, per the maxMC prefix construction.
+	CoverageUpper int64
+}
+
+// TotalCoverage returns the coverage of the full selected set, or Base
+// when no seed was selected.
+func (g GreedyResult) TotalCoverage(base int64) int64 {
+	if len(g.Coverage) == 0 {
+		return base
+	}
+	return g.Coverage[len(g.Coverage)-1]
+}
+
+// celfEntry is one lazy-greedy heap element: the node and its most
+// recently computed marginal coverage, which by submodularity upper
+// bounds its current marginal.
+type celfEntry struct {
+	gain int64
+	node int32
+	iter int32 // selection round the gain was computed in
+}
+
+type celfHeap struct {
+	entries []celfEntry
+	outDeg  []int32 // nil disables the out-degree tie-break
+}
+
+func (h *celfHeap) Len() int { return len(h.entries) }
+func (h *celfHeap) Less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	if h.outDeg != nil && h.outDeg[a.node] != h.outDeg[b.node] {
+		return h.outDeg[a.node] > h.outDeg[b.node]
+	}
+	return a.node < b.node
+}
+func (h *celfHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *celfHeap) Push(v any)    { h.entries = append(h.entries, v.(celfEntry)) }
+func (h *celfHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	v := old[n-1]
+	h.entries = old[:n-1]
+	return v
+}
+
+// SelectSeeds runs the (revised) greedy max-coverage algorithm with lazy
+// marginal evaluation and computes the Λᵘ upper bound along the way.
+//
+// Lazy evaluation is exact: a popped entry whose gain is stale is
+// recomputed and pushed back, so the node actually selected in each round
+// has the true maximum marginal coverage (with the configured
+// tie-break applied to recomputed values).
+//
+// The upper bound is evaluated at prefix 0, at every power-of-two prefix,
+// and at the final prefix; the minimum is returned. Skipping intermediate
+// prefixes can only loosen the bound, never invalidate it, and keeps the
+// bound's cost at O(n log K · log k) instead of O(n·k).
+func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
+	k := opt.K
+	if k > x.n {
+		k = x.n
+	}
+	if k < 0 {
+		k = 0
+	}
+	topL := opt.TopL
+	if topL <= 0 {
+		topL = k
+	}
+	var tie []int32
+	if opt.Revised {
+		if x.outDeg == nil {
+			panic("coverage: Revised greedy requires out-degrees")
+		}
+		tie = x.outDeg
+	}
+
+	x.newRun()
+	h := &celfHeap{outDeg: tie}
+	h.entries = make([]celfEntry, 0, x.n)
+	gains := make([]int64, x.n) // latest computed gain per node (a valid upper bound)
+	for v := 0; v < x.n; v++ {
+		if opt.Exclude != nil && opt.Exclude[v] {
+			continue
+		}
+		g := int64(len(x.nodeSets[v]))
+		gains[v] = g
+		h.entries = append(h.entries, celfEntry{gain: g, node: int32(v), iter: 0})
+	}
+	heap.Init(h)
+
+	res := GreedyResult{
+		Seeds:         make([]int32, 0, k),
+		Coverage:      make([]int64, 0, k),
+		CoverageUpper: int64(len(x.sets)) + opt.Base, // trivial bound; tightened below
+	}
+	selected := make([]bool, x.n)
+
+	// Upper bound at prefix 0: Base + sum of the topL largest initial
+	// coverages.
+	res.tightenUpper(opt.Base + topSum(gains, selected, topL))
+
+	var cum int64
+	nextBoundAt := 1
+	for round := int32(1); int(round) <= k && h.Len() > 0; round++ {
+		var pick celfEntry
+		for {
+			pick = heap.Pop(h).(celfEntry)
+			if pick.iter == round-1 || pick.gain == 0 {
+				// Fresh (computed against the current covered state), or
+				// zero — no stale entry can beat zero since gains are
+				// non-negative.
+				break
+			}
+			// Stale: recompute the exact marginal and reinsert.
+			pick.gain = x.marginal(pick.node)
+			pick.iter = round - 1
+			gains[pick.node] = pick.gain
+			heap.Push(h, pick)
+		}
+		v := pick.node
+		selected[v] = true
+		gains[v] = 0
+		for _, id := range x.nodeSets[v] {
+			if x.covered[id] != x.run {
+				x.covered[id] = x.run
+				cum++
+			}
+		}
+		res.Seeds = append(res.Seeds, v)
+		res.Coverage = append(res.Coverage, opt.Base+cum)
+
+		if int(round) == nextBoundAt || int(round) == k {
+			// Stored gains upper-bound each node's current marginal
+			// (submodularity), so their topL sum dominates the true
+			// maxMC sum at this prefix.
+			res.tightenUpper(opt.Base + cum + topSum(gains, selected, topL))
+			nextBoundAt *= 2
+		}
+	}
+	return res
+}
+
+// marginal returns the exact marginal coverage of v against the current
+// covered stamps.
+func (x *Index) marginal(v int32) int64 {
+	var g int64
+	for _, id := range x.nodeSets[v] {
+		if x.covered[id] != x.run {
+			g++
+		}
+	}
+	return g
+}
+
+func (r *GreedyResult) tightenUpper(bound int64) {
+	if bound < r.CoverageUpper {
+		r.CoverageUpper = bound
+	}
+}
+
+// topSum returns the sum of the topL largest values among unselected
+// nodes, via a bounded min-heap in O(n log topL).
+func topSum(gains []int64, selected []bool, topL int) int64 {
+	if topL <= 0 {
+		return 0
+	}
+	best := make([]int64, 0, topL)
+	for v, g := range gains {
+		if selected[v] || g == 0 {
+			continue
+		}
+		if len(best) < topL {
+			best = append(best, g)
+			if len(best) == topL {
+				sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+			}
+			continue
+		}
+		if g > best[0] {
+			// Replace the minimum and restore order by insertion.
+			best[0] = g
+			for i := 1; i < len(best) && best[i] < best[i-1]; i++ {
+				best[i], best[i-1] = best[i-1], best[i]
+			}
+		}
+	}
+	if len(best) < topL {
+		sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	}
+	var s int64
+	for _, g := range best {
+		s += g
+	}
+	return s
+}

@@ -1,0 +1,217 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"subsim/internal/graph"
+	"subsim/internal/rng"
+)
+
+func TestICStarClosedForm(t *testing.T) {
+	// Star with centre 0: I({0}) = 1 + (n-1)p.
+	const n, p = 50, 0.3
+	g := graph.GenStar(n, p)
+	e := NewEstimator(g)
+	r := rng.New(1)
+	got := e.Estimate(r, []int32{0}, 100000, IC)
+	want := 1 + float64(n-1)*p
+	if math.Abs(got-want) > 0.15 {
+		t.Fatalf("star influence %v, want %v", got, want)
+	}
+}
+
+func TestICLineClosedForm(t *testing.T) {
+	// Line from node 0: I({0}) = Σ_{i=0}^{n-1} p^i.
+	const n, p = 10, 0.5
+	g := graph.GenLine(n, p)
+	e := NewEstimator(g)
+	r := rng.New(2)
+	got := e.Estimate(r, []int32{0}, 200000, IC)
+	want := 0.0
+	for i := 0; i < n; i++ {
+		want += math.Pow(p, float64(i))
+	}
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("line influence %v, want %v", got, want)
+	}
+}
+
+func TestICDeterministicExtremes(t *testing.T) {
+	g := graph.GenComplete(20, 1)
+	e := NewEstimator(g)
+	r := rng.New(3)
+	if got := e.Estimate(r, []int32{5}, 10, IC); got != 20 {
+		t.Fatalf("p=1 complete graph influence %v", got)
+	}
+	g0 := graph.GenComplete(20, 0)
+	e0 := NewEstimator(g0)
+	if got := e0.Estimate(r, []int32{1, 2, 3}, 10, IC); got != 3 {
+		t.Fatalf("p=0 influence %v", got)
+	}
+}
+
+func TestSeedsDeduplicated(t *testing.T) {
+	g := graph.GenComplete(5, 0)
+	e := NewEstimator(g)
+	r := rng.New(4)
+	if got := e.SimulateIC(r, []int32{2, 2, 2}); got != 1 {
+		t.Fatalf("duplicate seeds counted: %d", got)
+	}
+}
+
+func TestEstimateZeroSamples(t *testing.T) {
+	g := graph.GenLine(3, 1)
+	e := NewEstimator(g)
+	if e.Estimate(rng.New(5), []int32{0}, 0, IC) != 0 {
+		t.Fatal("zero samples should return 0")
+	}
+	if EstimateParallel(g, []int32{0}, 0, IC, 1, 2) != 0 {
+		t.Fatal("zero samples should return 0")
+	}
+}
+
+func TestLTLineDeterministic(t *testing.T) {
+	// LT on a line with WC weights: each edge weight is 1, so every
+	// threshold is met and the cascade reaches the end.
+	const n = 15
+	g := graph.GenLine(n, 0)
+	g.AssignLT()
+	e := NewEstimator(g)
+	r := rng.New(6)
+	if got := e.Estimate(r, []int32{0}, 50, LTModel); got != n {
+		t.Fatalf("LT line influence %v, want %d", got, n)
+	}
+}
+
+func TestLTHalfWeight(t *testing.T) {
+	// Single edge of weight 0.5: the target activates iff λ <= 0.5.
+	b := graph.NewBuilder(2)
+	if err := b.AddEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	e := NewEstimator(g)
+	r := rng.New(7)
+	got := e.Estimate(r, []int32{0}, 200000, LTModel)
+	if math.Abs(got-1.5) > 0.01 {
+		t.Fatalf("LT single-edge influence %v, want 1.5", got)
+	}
+}
+
+func TestLTThresholdAccumulates(t *testing.T) {
+	// Two in-neighbors at weight 0.5 each, both seeded: the target's
+	// accumulated weight is 1 ≥ any threshold, so it always activates.
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	e := NewEstimator(g)
+	r := rng.New(8)
+	if got := e.Estimate(r, []int32{0, 1}, 1000, LTModel); got != 3 {
+		t.Fatalf("LT accumulation influence %v, want 3", got)
+	}
+}
+
+func TestLTScratchResetBetweenRuns(t *testing.T) {
+	// Repeated simulations must not leak accumulated weights: with one
+	// seed, node 2 activates iff λ2 <= 0.5, forever (not increasingly
+	// often).
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	e := NewEstimator(g)
+	r := rng.New(9)
+	got := e.Estimate(r, []int32{0}, 200000, LTModel)
+	if math.Abs(got-1.5) > 0.01 {
+		t.Fatalf("accW leak: influence %v, want 1.5", got)
+	}
+}
+
+func TestParallelMatchesSerialStatistically(t *testing.T) {
+	r := rng.New(10)
+	g, err := graph.GenErdosRenyi(100, 800, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AssignWC()
+	seeds := []int32{1, 2, 3}
+	serial := NewEstimator(g).Estimate(rng.New(11), seeds, 40000, IC)
+	par := EstimateParallel(g, seeds, 40000, IC, 12, 4)
+	if math.Abs(serial-par) > 0.05*serial+0.5 {
+		t.Fatalf("serial %v vs parallel %v", serial, par)
+	}
+}
+
+func TestParallelDeterminism(t *testing.T) {
+	r := rng.New(13)
+	g, err := graph.GenErdosRenyi(60, 300, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AssignWC()
+	a := EstimateParallel(g, []int32{5}, 10000, IC, 99, 3)
+	b := EstimateParallel(g, []int32{5}, 10000, IC, 99, 3)
+	if a != b {
+		t.Fatalf("parallel estimate not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestParallelWorkerClamping(t *testing.T) {
+	g := graph.GenLine(4, 1)
+	// More workers than samples must not deadlock or panic.
+	got := EstimateParallel(g, []int32{0}, 3, IC, 1, 16)
+	if got != 4 {
+		t.Fatalf("influence %v, want 4", got)
+	}
+	// workers <= 0 defaults to GOMAXPROCS.
+	if EstimateParallel(g, []int32{0}, 10, IC, 1, 0) != 4 {
+		t.Fatal("default workers failed")
+	}
+}
+
+func TestEstimateIntervalBracketsClosedForm(t *testing.T) {
+	const n, p = 40, 0.3
+	g := graph.GenStar(n, p)
+	want := 1 + float64(n-1)*p
+	iv := EstimateInterval(g, []int32{0}, 60000, IC, 0.99, 3, 2)
+	if iv.Samples != 60000 {
+		t.Fatalf("samples %d", iv.Samples)
+	}
+	if iv.Lo > want || iv.Hi < want {
+		t.Fatalf("interval [%v,%v] excludes %v", iv.Lo, iv.Hi, want)
+	}
+	if iv.Lo > iv.Mean || iv.Hi < iv.Mean {
+		t.Fatal("interval excludes its own mean")
+	}
+	if iv.StdErr <= 0 {
+		t.Fatal("zero standard error on a stochastic process")
+	}
+}
+
+func TestEstimateIntervalDeterministicProcess(t *testing.T) {
+	g := graph.GenLine(5, 1)
+	iv := EstimateInterval(g, []int32{0}, 100, IC, 0.95, 1, 2)
+	if iv.Mean != 5 || iv.StdErr != 0 || iv.Lo != 5 || iv.Hi != 5 {
+		t.Fatalf("deterministic interval %+v", iv)
+	}
+}
+
+func TestEstimateIntervalClamps(t *testing.T) {
+	if iv := EstimateInterval(graph.GenLine(3, 1), nil, 0, IC, 0.95, 1, 1); iv.Samples != 0 {
+		t.Fatal("zero samples should return zero interval")
+	}
+	// Confidence levels map to increasing z.
+	if zFor(0.5) >= zFor(0.95) || zFor(0.95) >= zFor(0.999) {
+		t.Fatal("z quantiles not increasing")
+	}
+}

@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"subsim/internal/rng"
+)
+
+func sameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)", a.N(), a.M(), b.N(), b.M())
+	}
+	ea, eb := a.Edges(), b.Edges()
+	mk := func(es []Edge) map[Edge]int {
+		m := map[Edge]int{}
+		for _, e := range es {
+			m[e]++
+		}
+		return m
+	}
+	ma, mb := mk(ea), mk(eb)
+	for e, c := range ma {
+		if mb[e] != c {
+			t.Fatalf("edge %v count %d vs %d", e, c, mb[e])
+		}
+	}
+}
+
+func randomGraph(t *testing.T) *Graph {
+	t.Helper()
+	r := rng.New(11)
+	g, err := GenErdosRenyi(25, 120, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AssignExponential(r, 1)
+	return g
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := randomGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, g2)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := randomGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, g2)
+	if g2.Model() != g.Model() {
+		t.Fatalf("model not preserved: %v vs %v", g2.Model(), g.Model())
+	}
+}
+
+func TestReadTextComments(t *testing.T) {
+	in := "# a comment\n% another\n3 2\n0 1 0.5\n\n1 2\n"
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	// The probability-less edge defaults to 0.
+	_, probs := g.InNeighbors(2)
+	if probs[0] != 0 {
+		t.Fatalf("default probability %v", probs[0])
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",                   // empty
+		"nope\n",             // bad header
+		"2\n",                // short header
+		"2 1\n0\n",           // short edge line
+		"2 1\n0 5 0.5\n",     // out of range
+		"2 1\n0 1 2.0\n",     // bad probability
+		"2 1\nx 1 0.5\n",     // bad source
+		"2 1\n0 y 0.5\n",     // bad target
+		"2 1\n0 1 zz\n",      // unparsable probability
+		"x 1\n",              // bad node count
+		"2 x\n",              // bad edge count header
+		"2 1\n1 1 0.5\n",     // self loop
+		"2 1\n0 1 0.5 9 9\n", // too many fields
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty binary accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 32))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated payload after a valid header.
+	g := randomGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:40]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated binary accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := randomGraph(t)
+	dir := t.TempDir()
+	for _, name := range []string{"g.txt", "g.bin"} {
+		path := filepath.Join(dir, name)
+		if err := g.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameGraph(t, g, g2)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadSNAP parses a headerless edge list in the style of the SNAP and
+// KONECT repositories the paper's datasets ship in: one "from to
+// [weight]" pair per line, '#' and '%' comments ignored, node ids
+// arbitrary non-negative integers. Ids are preserved (the graph has
+// maxID+1 nodes, so sparse id spaces produce isolated nodes — run
+// CompactLargestWCC or Subgraph afterwards if that matters). When
+// undirected is true every edge is mirrored.
+func ReadSNAP(r io.Reader, undirected bool) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	type rawEdge struct {
+		from, to int64
+		p        float64
+	}
+	var edges []rawEdge
+	maxID := int64(-1)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("graph: snap line %d: want \"from to [weight]\"", line)
+		}
+		from, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: snap line %d: bad source: %v", line, err)
+		}
+		to, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: snap line %d: bad target: %v", line, err)
+		}
+		if from < 0 || to < 0 {
+			return nil, fmt.Errorf("graph: snap line %d: negative node id", line)
+		}
+		p := 0.0
+		if len(fields) == 3 {
+			p, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: snap line %d: bad weight: %v", line, err)
+			}
+		}
+		if from == to {
+			continue // SNAP dumps occasionally contain self-loops; drop them
+		}
+		edges = append(edges, rawEdge{from, to, p})
+		if from > maxID {
+			maxID = from
+		}
+		if to > maxID {
+			maxID = to
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if maxID >= 1<<31-1 {
+		return nil, fmt.Errorf("graph: snap node id %d exceeds int32", maxID)
+	}
+	b := NewBuilder(int(maxID + 1))
+	for _, e := range edges {
+		if undirected {
+			if err := b.AddUndirected(int32(e.from), int32(e.to), e.p); err != nil {
+				return nil, err
+			}
+		} else if err := b.AddEdge(int32(e.from), int32(e.to), e.p); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Subgraph returns the subgraph induced by the nodes with keep[v] true,
+// with nodes renumbered densely in ascending original-id order, plus the
+// mapping from new ids back to original ids. Edge probabilities are
+// preserved.
+func (g *Graph) Subgraph(keep []bool) (*Graph, []int32, error) {
+	if len(keep) != g.N() {
+		return nil, nil, fmt.Errorf("graph: keep mask length %d != n %d", len(keep), g.N())
+	}
+	newID := make([]int32, g.N())
+	var origID []int32
+	for v := 0; v < g.N(); v++ {
+		if keep[v] {
+			newID[v] = int32(len(origID))
+			origID = append(origID, int32(v))
+		} else {
+			newID[v] = -1
+		}
+	}
+	b := NewBuilder(len(origID))
+	for _, u := range origID {
+		lo, hi := g.outOff[u], g.outOff[u+1]
+		for j := lo; j < hi; j++ {
+			w := g.outAdj[j]
+			if newID[w] < 0 {
+				continue
+			}
+			if err := b.AddEdge(newID[u], newID[w], g.outW[j]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	sub := b.Build()
+	sub.model = g.model
+	return sub, origID, nil
+}
+
+// CompactLargestWCC returns the subgraph induced by the largest weakly
+// connected component — the standard preprocessing step for IM
+// experiments on raw crawls — together with the new→original id mapping.
+func (g *Graph) CompactLargestWCC() (*Graph, []int32, error) {
+	comp, count := g.WCC()
+	if count == 0 {
+		return g, nil, nil
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := int32(0)
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = int32(c)
+		}
+	}
+	keep := make([]bool, g.N())
+	for v, c := range comp {
+		keep[v] = c == best
+	}
+	return g.Subgraph(keep)
+}

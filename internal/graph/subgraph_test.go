@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadSNAP(t *testing.T) {
+	in := "# comment\n0 3\n3 7 0.5\n7 0\n5 5\n"
+	g, err := ReadSNAP(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 8 {
+		t.Fatalf("n = %d, want 8 (max id 7)", g.N())
+	}
+	if g.M() != 3 {
+		t.Fatalf("m = %d (self-loop must be dropped)", g.M())
+	}
+	_, probs := g.InNeighbors(7)
+	if len(probs) != 1 || probs[0] != 0.5 {
+		t.Fatalf("weight not preserved: %v", probs)
+	}
+	// Isolated nodes exist for the unused ids.
+	if g.InDegree(1) != 0 || g.OutDegree(1) != 0 {
+		t.Fatal("id 1 should be isolated")
+	}
+}
+
+func TestReadSNAPUndirected(t *testing.T) {
+	g, err := ReadSNAP(strings.NewReader("0 1\n1 2\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 {
+		t.Fatalf("m = %d, want 4", g.M())
+	}
+	if g.InDegree(0) != 1 || g.OutDegree(0) != 1 {
+		t.Fatal("mirroring failed")
+	}
+}
+
+func TestReadSNAPErrors(t *testing.T) {
+	cases := []string{
+		"0\n",       // short line
+		"0 1 2 3\n", // long line
+		"x 1\n",     // bad source
+		"0 y\n",     // bad target
+		"-1 2\n",    // negative id
+		"0 1 zz\n",  // bad weight
+		"0 1 1.5\n", // weight out of [0,1] (caught by builder)
+	}
+	for _, in := range cases {
+		if _, err := ReadSNAP(strings.NewReader(in), false); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := mustBuild(t, 5, []Edge{
+		{0, 1, 0.5}, {1, 2, 0.25}, {2, 0, 1}, {3, 4, 0.75}, {1, 3, 0.1},
+	})
+	keep := []bool{true, true, true, false, false}
+	sub, orig, err := g.Subgraph(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("sub: n=%d m=%d", sub.N(), sub.M())
+	}
+	for i, want := range []int32{0, 1, 2} {
+		if orig[i] != want {
+			t.Fatalf("mapping %v", orig)
+		}
+	}
+	// The edge 1→3 crossing the cut must be gone; weights preserved.
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, probs := sub.InNeighbors(0)
+	if len(probs) != 1 || probs[0] != 1 {
+		t.Fatalf("edge 2→0 not preserved: %v", probs)
+	}
+	if _, _, err := g.Subgraph([]bool{true}); err == nil {
+		t.Fatal("wrong mask length accepted")
+	}
+}
+
+func TestCompactLargestWCC(t *testing.T) {
+	// Component A: 0-1-2 (sizes 3); component B: 3-4 (size 2); isolated 5.
+	g := mustBuild(t, 6, []Edge{{0, 1, 0.5}, {1, 2, 0.5}, {3, 4, 0.5}})
+	sub, orig, err := g.CompactLargestWCC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 {
+		t.Fatalf("largest WCC size %d", sub.N())
+	}
+	for i, want := range []int32{0, 1, 2} {
+		if orig[i] != want {
+			t.Fatalf("mapping %v", orig)
+		}
+	}
+	if sub.M() != 2 {
+		t.Fatalf("m = %d", sub.M())
+	}
+}
+
+func TestCompactPreservesModel(t *testing.T) {
+	g := mustBuild(t, 4, []Edge{{0, 1, 0}, {1, 2, 0}})
+	g.AssignWC()
+	sub, _, err := g.CompactLargestWCC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Model() != ModelWC {
+		t.Fatalf("model %v not preserved", sub.Model())
+	}
+}

@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"subsim/internal/rng"
+)
+
+// WeightModel identifies the propagation-probability assignment on a
+// graph's edges. The models correspond exactly to the experimental
+// settings of the paper's Section 7.
+type WeightModel int
+
+const (
+	// ModelUnset means edge probabilities were supplied explicitly (or
+	// never assigned).
+	ModelUnset WeightModel = iota
+	// ModelWC is the weighted-cascade model: p(u,v) = 1/d_in(v).
+	ModelWC
+	// ModelWCVariant is the high-influence WC variant of Section 7:
+	// p(u,v) = min{1, θ/d_in(v)} for a constant θ ≥ 1.
+	ModelWCVariant
+	// ModelUniform is the Uniform IC model: every edge has the same
+	// probability p.
+	ModelUniform
+	// ModelExponential draws each edge weight from Exponential(λ=1) and
+	// normalises each node's incoming weights to sum to 1.
+	ModelExponential
+	// ModelWeibull draws each edge weight from Weibull(a,b) with a,b
+	// sampled uniformly from [0,10] per edge, then normalises each
+	// node's incoming weights to sum to 1.
+	ModelWeibull
+	// ModelLT marks a linear-threshold assignment: incoming weights of
+	// every node sum to at most 1 (here: exactly 1 via WC weights).
+	ModelLT
+)
+
+// String returns the model name used in experiment output.
+func (m WeightModel) String() string {
+	switch m {
+	case ModelUnset:
+		return "unset"
+	case ModelWC:
+		return "WC"
+	case ModelWCVariant:
+		return "WC-variant"
+	case ModelUniform:
+		return "UniformIC"
+	case ModelExponential:
+		return "Exponential"
+	case ModelWeibull:
+		return "Weibull"
+	case ModelLT:
+		return "LT"
+	default:
+		return fmt.Sprintf("WeightModel(%d)", int(m))
+	}
+}
+
+// AssignWC sets every edge (u,v) to probability 1/d_in(v), the weighted
+// cascade model. Per-node incoming probabilities become equal, enabling
+// the geometric-skip fast path.
+func (g *Graph) AssignWC() {
+	for v := int32(0); v < g.n; v++ {
+		lo, hi := g.inOff[v], g.inOff[v+1]
+		if lo == hi {
+			continue
+		}
+		p := 1 / float64(hi-lo)
+		for i := lo; i < hi; i++ {
+			g.setInWeight(i, p)
+		}
+	}
+	g.model = ModelWC
+	g.sortedIn = false
+	g.detectUniformIn()
+}
+
+// AssignWCVariant sets every edge (u,v) to min{1, theta/d_in(v)}, the
+// paper's high-influence WC variant. theta must be >= 0; theta == 1
+// coincides with plain WC.
+func (g *Graph) AssignWCVariant(theta float64) {
+	if theta < 0 || math.IsNaN(theta) {
+		panic("graph: AssignWCVariant requires theta >= 0")
+	}
+	for v := int32(0); v < g.n; v++ {
+		lo, hi := g.inOff[v], g.inOff[v+1]
+		if lo == hi {
+			continue
+		}
+		p := theta / float64(hi-lo)
+		if p > 1 {
+			p = 1
+		}
+		for i := lo; i < hi; i++ {
+			g.setInWeight(i, p)
+		}
+	}
+	g.model = ModelWCVariant
+	g.sortedIn = false
+	g.detectUniformIn()
+}
+
+// AssignUniform sets every edge to the same probability p (Uniform IC).
+func (g *Graph) AssignUniform(p float64) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic("graph: AssignUniform requires p in [0,1]")
+	}
+	for i := int64(0); i < g.m; i++ {
+		g.inW[i] = p
+	}
+	for j := int64(0); j < g.m; j++ {
+		g.outW[j] = p
+	}
+	g.model = ModelUniform
+	g.sortedIn = false
+	g.detectUniformIn()
+}
+
+// AssignExponential draws each edge weight from Exponential(lambda) and
+// scales each node's incoming weights to sum to 1, the skewed setting of
+// Figure 2. Incoming probabilities become unequal, so generators fall
+// back to the general-IC subset samplers.
+func (g *Graph) AssignExponential(r *rng.Source, lambda float64) {
+	g.assignSkewed(func() float64 { return r.Exponential(lambda) })
+	g.model = ModelExponential
+}
+
+// AssignWeibull draws each edge weight from Weibull(a,b) with a and b
+// sampled uniformly at random from (0,10] per edge (following Tang et
+// al. 2015 / the paper's Figure 2 setting) and scales each node's
+// incoming weights to sum to 1.
+func (g *Graph) AssignWeibull(r *rng.Source) {
+	g.assignSkewed(func() float64 {
+		a := r.UniformRange(0, 10)
+		b := r.UniformRange(0, 10)
+		if a <= 0 {
+			a = math.SmallestNonzeroFloat64
+		}
+		if b <= 0 {
+			b = math.SmallestNonzeroFloat64
+		}
+		return r.Weibull(a, b)
+	})
+	g.model = ModelWeibull
+}
+
+// AssignLT sets WC weights and marks the graph for the linear-threshold
+// model: Σ_{u∈IN(v)} p(u,v) = 1 for every node with in-edges, the
+// precondition of LT RR set generation.
+func (g *Graph) AssignLT() {
+	g.AssignWC()
+	g.model = ModelLT
+}
+
+// assignSkewed draws a raw weight per in-edge from draw and normalises
+// each node's incoming weights to sum to 1.
+func (g *Graph) assignSkewed(draw func() float64) {
+	for v := int32(0); v < g.n; v++ {
+		lo, hi := g.inOff[v], g.inOff[v+1]
+		if lo == hi {
+			continue
+		}
+		var sum float64
+		for i := lo; i < hi; i++ {
+			w := draw()
+			g.inW[i] = w
+			sum += w
+		}
+		if sum <= 0 {
+			// Degenerate draw; fall back to equal weights.
+			p := 1 / float64(hi-lo)
+			for i := lo; i < hi; i++ {
+				g.setInWeight(i, p)
+			}
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			g.setInWeight(i, g.inW[i]/sum)
+		}
+	}
+	g.sortedIn = false
+	g.detectUniformIn()
+}

@@ -1,0 +1,299 @@
+// Package heuristics implements the classic guarantee-free seed
+// selection heuristics that predate (and are routinely compared against)
+// the RR-set algorithms: plain degree, SingleDiscount and DegreeDiscount
+// (Chen, Wang & Yang, KDD 2009), PageRank, and a one-hop expected
+// influence score in the spirit of IRIE's first iteration. The paper's
+// related work (Section 6) surveys this line; benchmarking studies such
+// as Arora et al. (SIGMOD 2017) use exactly these baselines.
+//
+// Heuristics are fast — linear or near-linear — but provide no
+// approximation guarantee; the tests and benchmarks in this repository
+// use them as quality floors for the certified algorithms.
+package heuristics
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"subsim/internal/graph"
+)
+
+// Degree returns the k nodes with the highest out-degree.
+func Degree(g *graph.Graph, k int) []int32 {
+	return g.TopOutDegree(k)
+}
+
+// SingleDiscount is degree selection where, whenever a seed is chosen,
+// every node with an edge INTO that seed loses one degree — that edge
+// can no longer activate anyone new (Chen et al. 2009, adapted to
+// directed graphs).
+func SingleDiscount(g *graph.Graph, k int) []int32 {
+	n := g.N()
+	if k > n {
+		k = n
+	}
+	score := make([]float64, n)
+	for v := 0; v < n; v++ {
+		score[v] = float64(g.OutDegree(int32(v)))
+	}
+	return discountLoop(g, k, score, func(seed int32, score []float64) {
+		sources, _ := g.InNeighbors(seed)
+		for _, w := range sources {
+			score[w]--
+		}
+	})
+}
+
+// DegreeDiscount is the IC-aware discount of Chen et al. (2009),
+// originally derived for Uniform IC with probability p: once t_v of v's
+// out-neighbors are seeds, v's residual value is
+// d_v - 2t_v - (d_v - t_v)·t_v·p. Here t_v is accumulated with each
+// wasted edge's own probability, which reduces to the classic formula
+// under Uniform IC.
+func DegreeDiscount(g *graph.Graph, k int) []int32 {
+	n := g.N()
+	if k > n {
+		k = n
+	}
+	deg := make([]float64, n)
+	seedNbrs := make([]float64, n) // t_v: probability-weighted seeds among v's out-neighbors
+	score := make([]float64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = float64(g.OutDegree(int32(v)))
+		score[v] = deg[v]
+	}
+	return discountLoop(g, k, score, func(seed int32, score []float64) {
+		sources, probs := g.InNeighbors(seed)
+		for i, w := range sources {
+			seedNbrs[w] += probs[i]
+			t := seedNbrs[w]
+			score[w] = deg[w] - 2*t - (deg[w]-t)*t
+			if score[w] < 0 {
+				score[w] = 0
+			}
+		}
+	})
+}
+
+// discountLoop runs lazy max-selection with a score array that only
+// decreases, using a heap of stale entries (same pattern as CELF).
+func discountLoop(g *graph.Graph, k int, score []float64, discount func(seed int32, score []float64)) []int32 {
+	h := &scoreHeap{}
+	h.entries = make([]scoreEntry, 0, len(score))
+	for v, s := range score {
+		h.entries = append(h.entries, scoreEntry{score: s, node: int32(v)})
+	}
+	heap.Init(h)
+	chosen := make([]bool, len(score))
+	seeds := make([]int32, 0, k)
+	for len(seeds) < k && h.Len() > 0 {
+		e := heap.Pop(h).(scoreEntry)
+		if chosen[e.node] {
+			continue
+		}
+		if e.score > score[e.node] {
+			// Stale: reinsert with the current (lower) score.
+			e.score = score[e.node]
+			heap.Push(h, e)
+			continue
+		}
+		chosen[e.node] = true
+		seeds = append(seeds, e.node)
+		discount(e.node, score)
+	}
+	return seeds
+}
+
+type scoreEntry struct {
+	score float64
+	node  int32
+}
+
+type scoreHeap struct{ entries []scoreEntry }
+
+func (h *scoreHeap) Len() int { return len(h.entries) }
+func (h *scoreHeap) Less(i, j int) bool {
+	if h.entries[i].score != h.entries[j].score {
+		return h.entries[i].score > h.entries[j].score
+	}
+	return h.entries[i].node < h.entries[j].node
+}
+func (h *scoreHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *scoreHeap) Push(v any)    { h.entries = append(h.entries, v.(scoreEntry)) }
+func (h *scoreHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	v := old[n-1]
+	h.entries = old[:n-1]
+	return v
+}
+
+// PageRankOptions configures the power iteration.
+type PageRankOptions struct {
+	// Damping is the teleport complement α (default 0.85).
+	Damping float64
+	// Iterations bounds the power iterations (default 50).
+	Iterations int
+	// Tolerance stops early once the L1 change falls below it
+	// (default 1e-9).
+	Tolerance float64
+}
+
+// PageRank computes PageRank scores over the REVERSE graph — influence
+// flows along out-edges, so a node is influential when many reachable
+// nodes point back to it in the reverse view — and returns the k
+// top-ranked nodes. (Using reverse PageRank for IM follows standard
+// practice in the IM benchmarking literature.)
+func PageRank(g *graph.Graph, k int, opt PageRankOptions) []int32 {
+	if opt.Damping <= 0 || opt.Damping >= 1 {
+		opt.Damping = 0.85
+	}
+	if opt.Iterations <= 0 {
+		opt.Iterations = 50
+	}
+	if opt.Tolerance <= 0 {
+		opt.Tolerance = 1e-9
+	}
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1 / float64(n)
+	for v := range rank {
+		rank[v] = inv
+	}
+	for iter := 0; iter < opt.Iterations; iter++ {
+		var dangling float64
+		for v := range next {
+			next[v] = 0
+		}
+		// Reverse propagation: v's rank flows to its in-neighbors,
+		// split by v's in-degree.
+		for v := int32(0); v < int32(n); v++ {
+			sources, _ := g.InNeighbors(v)
+			if len(sources) == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := rank[v] / float64(len(sources))
+			for _, u := range sources {
+				next[u] += share
+			}
+		}
+		var delta float64
+		base := (1-opt.Damping)*inv + opt.Damping*dangling*inv
+		for v := range next {
+			nv := base + opt.Damping*next[v]
+			d := nv - rank[v]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+			rank[v] = nv
+		}
+		if delta < opt.Tolerance {
+			break
+		}
+	}
+	return topK(rank, k)
+}
+
+// OneHop scores each node by its expected one-step influence
+// 1 + Σ p(v,w) over out-edges — the first iteration of IRIE's influence
+// ranking — and returns the k top-scored nodes.
+func OneHop(g *graph.Graph, k int) []int32 {
+	n := g.N()
+	score := make([]float64, n)
+	for v := int32(0); v < int32(n); v++ {
+		_, probs := g.OutNeighbors(v)
+		s := 1.0
+		for _, p := range probs {
+			s += p
+		}
+		score[v] = s
+	}
+	return topK(score, k)
+}
+
+// Core scores each node by its k-core number (ties broken by
+// out-degree, then id) and returns the k top-scored nodes. Core numbers
+// identify densely connected regions and are a robust influence proxy
+// when degree alone is misleading.
+func Core(g *graph.Graph, k int) []int32 {
+	core := g.KCore()
+	n := g.N()
+	score := make([]float64, n)
+	var maxDeg float64 = 1
+	for v := 0; v < n; v++ {
+		if d := float64(g.OutDegree(int32(v))); d >= maxDeg {
+			maxDeg = d + 1
+		}
+	}
+	for v := 0; v < n; v++ {
+		// Core dominates; out-degree breaks ties within a shell.
+		score[v] = float64(core[v])*maxDeg + float64(g.OutDegree(int32(v)))
+	}
+	return topK(score, k)
+}
+
+// topK returns the indices of the k largest scores, descending (ties by
+// id ascending).
+func topK(score []float64, k int) []int32 {
+	n := len(score)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	nodes := make([]int32, n)
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if score[nodes[i]] != score[nodes[j]] {
+			return score[nodes[i]] > score[nodes[j]]
+		}
+		return nodes[i] < nodes[j]
+	})
+	return nodes[:k]
+}
+
+// Name identifies a heuristic for CLI and experiment registries.
+type Name string
+
+// Known heuristics.
+const (
+	NameDegree         Name = "degree"
+	NameSingleDiscount Name = "singlediscount"
+	NameDegreeDiscount Name = "degreediscount"
+	NamePageRank       Name = "pagerank"
+	NameOneHop         Name = "onehop"
+	NameCore           Name = "core"
+)
+
+// Select runs the named heuristic.
+func Select(name Name, g *graph.Graph, k int) ([]int32, error) {
+	switch name {
+	case NameDegree:
+		return Degree(g, k), nil
+	case NameSingleDiscount:
+		return SingleDiscount(g, k), nil
+	case NameDegreeDiscount:
+		return DegreeDiscount(g, k), nil
+	case NamePageRank:
+		return PageRank(g, k, PageRankOptions{}), nil
+	case NameOneHop:
+		return OneHop(g, k), nil
+	case NameCore:
+		return Core(g, k), nil
+	default:
+		return nil, fmt.Errorf("heuristics: unknown heuristic %q", name)
+	}
+}
+
+// All lists the known heuristics in presentation order.
+var All = []Name{NameDegree, NameSingleDiscount, NameDegreeDiscount, NamePageRank, NameOneHop, NameCore}

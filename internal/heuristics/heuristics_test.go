@@ -1,0 +1,211 @@
+package heuristics
+
+import (
+	"testing"
+
+	"subsim/internal/diffusion"
+	"subsim/internal/graph"
+	"subsim/internal/rng"
+)
+
+func paGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.GenPreferentialAttachment(2000, 5, false, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AssignWC()
+	return g
+}
+
+func TestAllHeuristicsReturnKDistinctSeeds(t *testing.T) {
+	g := paGraph(t)
+	for _, name := range All {
+		seeds, err := Select(name, g, 25)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(seeds) != 25 {
+			t.Fatalf("%s: %d seeds", name, len(seeds))
+		}
+		seen := map[int32]bool{}
+		for _, s := range seeds {
+			if s < 0 || int(s) >= g.N() || seen[s] {
+				t.Fatalf("%s: bad seed %d in %v", name, s, seeds)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestSelectUnknown(t *testing.T) {
+	g := paGraph(t)
+	if _, err := Select("nope", g, 5); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+}
+
+func TestStarGraphAllPickCentre(t *testing.T) {
+	g := graph.GenStar(100, 0.5)
+	for _, name := range All {
+		seeds, err := Select(name, g, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if seeds[0] != 0 {
+			t.Fatalf("%s picked %d on a star", name, seeds[0])
+		}
+	}
+}
+
+func TestDegreeMatchesTopOutDegree(t *testing.T) {
+	g := paGraph(t)
+	a := Degree(g, 10)
+	b := g.TopOutDegree(10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("degree heuristic deviates at %d", i)
+		}
+	}
+}
+
+// TestDiscountsAvoidWastedEdges: after the top hub is chosen, a
+// runner-up whose edges point into the chosen seed is worth less than a
+// fresh hub of equal degree — the discounts must see that, while plain
+// degree (ties by id) falls into the trap.
+func TestDiscountsAvoidWastedEdges(t *testing.T) {
+	// Hub 0: out-edges to leaves 3..12 (degree 10, picked first).
+	// Node 1: out-edges to 0 and to leaves 13..20 (degree 9, one edge
+	// wasted on the seed).
+	// Node 2: out-edges to fresh leaves 21..29 (degree 9, nothing
+	// wasted).
+	b := graph.NewBuilder(30)
+	addEdge := func(u, v int32) {
+		t.Helper()
+		if err := b.AddEdge(u, v, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for leaf := int32(3); leaf < 13; leaf++ {
+		addEdge(0, leaf)
+	}
+	addEdge(1, 0)
+	for leaf := int32(13); leaf < 21; leaf++ {
+		addEdge(1, leaf)
+	}
+	for leaf := int32(21); leaf < 30; leaf++ {
+		addEdge(2, leaf)
+	}
+	g := b.Build()
+	for _, name := range []Name{NameSingleDiscount, NameDegreeDiscount} {
+		seeds, err := Select(name, g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seeds[0] != 0 || seeds[1] != 2 {
+			t.Fatalf("%s picked %v, want [0 2]", name, seeds)
+		}
+	}
+	// Plain degree ties 1 and 2 at degree 9 and picks the smaller id.
+	plain := Degree(g, 2)
+	if plain[0] != 0 || plain[1] != 1 {
+		t.Fatalf("degree heuristic picked %v", plain)
+	}
+}
+
+func TestPageRankRing(t *testing.T) {
+	// On a symmetric ring every node has identical rank; ties resolve by
+	// id, so the first k ids are returned.
+	g := graph.GenRing(10, 0.5)
+	seeds := PageRank(g, 3, PageRankOptions{})
+	want := []int32{0, 1, 2}
+	for i := range want {
+		if seeds[i] != want[i] {
+			t.Fatalf("PageRank on ring picked %v", seeds)
+		}
+	}
+}
+
+func TestPageRankDefaultsAndEmpty(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	if PageRank(g, 3, PageRankOptions{Damping: 7, Iterations: -1, Tolerance: -1}) != nil {
+		t.Fatal("empty graph should return nil")
+	}
+}
+
+func TestOneHopScores(t *testing.T) {
+	// OneHop = 1 + Σ out-probabilities: node 0 has 0.9, node 1 has 0.5.
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	seeds := OneHop(g, 2)
+	if seeds[0] != 0 || seeds[1] != 1 {
+		t.Fatalf("OneHop picked %v", seeds)
+	}
+}
+
+// TestHeuristicsBeatRandom is the quality floor: every heuristic's
+// simulated spread must exceed a random seed set's on a scale-free
+// graph.
+func TestHeuristicsBeatRandom(t *testing.T) {
+	g := paGraph(t)
+	random := []int32{100, 300, 500, 700, 900, 1100, 1300, 1500, 1700, 1900}
+	randSpread := diffusion.EstimateParallel(g, random, 20000, diffusion.IC, 1, 2)
+	for _, name := range All {
+		seeds, err := Select(name, g, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spread := diffusion.EstimateParallel(g, seeds, 20000, diffusion.IC, 1, 2)
+		if spread <= randSpread {
+			t.Errorf("%s spread %v not above random %v", name, spread, randSpread)
+		}
+	}
+}
+
+func TestKClamping(t *testing.T) {
+	g := graph.GenStar(5, 0.5)
+	for _, name := range All {
+		seeds, err := Select(name, g, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seeds) != 5 {
+			t.Fatalf("%s: k>n returned %d seeds", name, len(seeds))
+		}
+	}
+}
+
+func TestCoreHeuristic(t *testing.T) {
+	// A 4-clique plus a star hub: the hub has the highest degree but
+	// core 1; Core must prefer the clique.
+	b := graph.NewBuilder(20)
+	for u := int32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if err := b.AddUndirected(u, v, 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for leaf := int32(5); leaf < 20; leaf++ {
+		if err := b.AddEdge(4, leaf, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	seeds := Core(g, 1)
+	if seeds[0] == 4 {
+		t.Fatalf("core heuristic picked the shallow hub")
+	}
+	if seeds[0] >= 4 {
+		t.Fatalf("core heuristic picked %d, want a clique member", seeds[0])
+	}
+}

@@ -1,0 +1,100 @@
+package im
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"subsim/internal/diffusion"
+	"subsim/internal/graph"
+	"subsim/internal/rng"
+)
+
+// GreedyMCOptions configures the forward-Monte-Carlo greedy baseline.
+type GreedyMCOptions struct {
+	// K is the seed-set size.
+	K int
+	// Samples is the number of forward simulations per influence
+	// estimate.
+	Samples int
+	// Seed seeds the simulation randomness.
+	Seed uint64
+	// Model selects IC or LT.
+	Model diffusion.Model
+}
+
+// GreedyMC is the original hill-climbing algorithm of Kempe et al. (2003)
+// with CELF lazy evaluation (Leskovec et al. 2007): in each round the
+// node with the largest estimated marginal influence gain is added, where
+// gains are estimated by forward Monte-Carlo simulation. It is far too
+// slow for real graphs — the reason the RR-set line of work exists — but
+// on the tiny graphs of the test suite it converges to near-optimal seed
+// sets and serves as ground truth for the sampling-based algorithms.
+func GreedyMC(g *graph.Graph, opt GreedyMCOptions) (*Result, error) {
+	start := time.Now()
+	n := g.N()
+	if opt.K < 1 || opt.K > n {
+		return nil, fmt.Errorf("im: k=%d outside [1,%d]", opt.K, n)
+	}
+	if opt.Samples < 1 {
+		opt.Samples = 1000
+	}
+	r := rng.New(opt.Seed)
+	est := diffusion.NewEstimator(g)
+
+	h := &mcHeap{}
+	for v := 0; v < n; v++ {
+		seeds := []int32{int32(v)}
+		gain := est.Estimate(r, seeds, opt.Samples, opt.Model)
+		h.entries = append(h.entries, mcEntry{gain: gain, node: int32(v), iter: 0})
+	}
+	heap.Init(h)
+
+	res := &Result{}
+	seeds := make([]int32, 0, opt.K)
+	base := 0.0
+	for round := int32(1); int(round) <= opt.K && h.Len() > 0; round++ {
+		var pick mcEntry
+		for {
+			pick = heap.Pop(h).(mcEntry)
+			if pick.iter == round-1 {
+				break
+			}
+			pick.gain = est.Estimate(r, append(seeds, pick.node), opt.Samples, opt.Model) - base
+			pick.iter = round - 1
+			heap.Push(h, pick)
+		}
+		seeds = append(seeds, pick.node)
+		base += pick.gain
+	}
+	res.Seeds = seeds
+	res.Influence = est.Estimate(r, seeds, opt.Samples, opt.Model)
+	res.Rounds = opt.K
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+type mcEntry struct {
+	gain float64
+	node int32
+	iter int32
+}
+
+type mcHeap struct{ entries []mcEntry }
+
+func (h *mcHeap) Len() int { return len(h.entries) }
+func (h *mcHeap) Less(i, j int) bool {
+	if h.entries[i].gain != h.entries[j].gain {
+		return h.entries[i].gain > h.entries[j].gain
+	}
+	return h.entries[i].node < h.entries[j].node
+}
+func (h *mcHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *mcHeap) Push(v any)    { h.entries = append(h.entries, v.(mcEntry)) }
+func (h *mcHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	v := old[n-1]
+	h.entries = old[:n-1]
+	return v
+}

@@ -1,0 +1,218 @@
+// Package im implements the sampling-based influence-maximization
+// baselines the paper compares against — IMM (Tang et al. 2015), OPIM-C
+// (Tang et al. 2018) and SSA (Nguyen et al. 2016, with the corrected
+// verification of Huang et al. 2017) — plus a forward-Monte-Carlo CELF
+// greedy used to ground-truth tiny graphs in the tests.
+//
+// Every algorithm is parameterised by an rrset.Generator, so each
+// baseline runs with either the vanilla generator (as in the original
+// systems) or with SUBSIM (the paper's "SUBSIM" configuration is OPIM-C
+// over the SUBSIM generator, see internal/core).
+package im
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"subsim/internal/coverage"
+	"subsim/internal/rng"
+	"subsim/internal/rrset"
+)
+
+// Options configures one influence-maximization run.
+type Options struct {
+	// K is the seed-set size (1 <= K <= n).
+	K int
+	// Eps is the approximation slack ε of the (1-1/e-ε) guarantee.
+	Eps float64
+	// Delta is the failure probability; 0 defaults to 1/n.
+	Delta float64
+	// Seed seeds all randomness; a fixed Seed (with fixed Workers)
+	// reproduces a run exactly.
+	Seed uint64
+	// Workers bounds the RR-generation parallelism; 0 defaults to
+	// GOMAXPROCS.
+	Workers int
+	// Revised enables the Algorithm 6 out-degree tie-break in greedy
+	// selection. The baselines default to the classic greedy; HIST
+	// always enables it.
+	Revised bool
+}
+
+func (o *Options) Normalize(n int) error {
+	if o.K < 1 || o.K > n {
+		return fmt.Errorf("im: k=%d outside [1,%d]", o.K, n)
+	}
+	if o.Eps <= 0 || o.Eps >= 1 {
+		return fmt.Errorf("im: eps=%v outside (0,1)", o.Eps)
+	}
+	if o.Delta == 0 {
+		o.Delta = 1 / float64(n)
+	}
+	if o.Delta <= 0 || o.Delta >= 1 {
+		return fmt.Errorf("im: delta=%v outside (0,1)", o.Delta)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// Result reports the outcome and cost accounting of a run.
+type Result struct {
+	// Seeds is the selected seed set, in selection order. For HIST the
+	// sentinel nodes come first.
+	Seeds []int32
+	// Influence is the algorithm's unbiased coverage-based estimate
+	// n·Λ(S)/θ of the expected influence of Seeds.
+	Influence float64
+	// LowerBound is the certified (1-δ)-confidence lower bound on the
+	// influence of Seeds (Equation 1); 0 when the algorithm does not
+	// certify one.
+	LowerBound float64
+	// UpperBound is the certified upper bound on the optimum
+	// (Equation 2); 0 when not certified.
+	UpperBound float64
+	// Approx is LowerBound/UpperBound, the certified approximation
+	// ratio at termination.
+	Approx float64
+	// RRStats aggregates generation cost across all RR collections.
+	RRStats rrset.Stats
+	// Rounds is the number of doubling iterations executed.
+	Rounds int
+	// SentinelRR counts the RR sets generated during HIST's sentinel
+	// phase (Figure 3a); 0 for other algorithms.
+	SentinelRR int64
+	// SentinelSize is HIST's |S_b|; 0 for other algorithms.
+	SentinelSize int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Batcher generates RR sets in parallel with deterministic output for a
+// fixed seed and worker count: worker w always consumes the w-th split
+// RNG stream and its sets are appended in worker order.
+type Batcher struct {
+	gens []rrset.Generator
+	srcs []*rng.Source
+}
+
+// NewBatcher builds a parallel generation front-end over gen. The
+// generator is cloned per worker; clones share any immutable
+// preprocessing (sorted in-edges, bucket samplers).
+func NewBatcher(gen rrset.Generator, seed uint64, workers int) *Batcher {
+	if workers < 1 {
+		workers = 1
+	}
+	b := &Batcher{
+		gens: make([]rrset.Generator, workers),
+		srcs: make([]*rng.Source, workers),
+	}
+	base := rng.New(seed)
+	for w := 0; w < workers; w++ {
+		if w == 0 {
+			b.gens[w] = gen
+		} else {
+			b.gens[w] = gen.Clone()
+		}
+		b.srcs[w] = base.Split()
+	}
+	return b
+}
+
+// Generate produces count random RR sets (uniform roots), stopping each
+// traversal at sentinel nodes when sentinel is non-nil, and returns them
+// in deterministic order.
+func (b *Batcher) Generate(count int, sentinel []bool) []rrset.RRSet {
+	if count <= 0 {
+		return nil
+	}
+	workers := len(b.gens)
+	if count < 4*workers || workers == 1 {
+		out := make([]rrset.RRSet, 0, count)
+		for i := 0; i < count; i++ {
+			out = append(out, rrset.GenerateRandom(b.gens[0], b.srcs[0], sentinel))
+		}
+		return out
+	}
+	parts := make([][]rrset.RRSet, workers)
+	per := count / workers
+	extra := count % workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cnt := per
+		if w < extra {
+			cnt++
+		}
+		wg.Add(1)
+		go func(w, cnt int) {
+			defer wg.Done()
+			part := make([]rrset.RRSet, 0, cnt)
+			for i := 0; i < cnt; i++ {
+				part = append(part, rrset.GenerateRandom(b.gens[w], b.srcs[w], sentinel))
+			}
+			parts[w] = part
+		}(w, cnt)
+	}
+	wg.Wait()
+	out := make([]rrset.RRSet, 0, count)
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// Stats sums the generation counters across all workers.
+func (b *Batcher) Stats() rrset.Stats {
+	var s rrset.Stats
+	for _, g := range b.gens {
+		s.Add(g.Stats())
+	}
+	return s
+}
+
+// ResetStats zeroes the counters on all workers.
+func (b *Batcher) ResetStats() {
+	for _, g := range b.gens {
+		g.ResetStats()
+	}
+}
+
+// FillIndex generates `count` RR sets and adds them to idx. When sentinel
+// is non-nil, sets that terminated on a sentinel (i.e. contain one) are
+// NOT added; instead the number of such hits is returned, matching
+// Algorithm 8 line 5 where covered-by-S_b sets are excluded from greedy.
+func (b *Batcher) FillIndex(idx *coverage.Index, count int, sentinel []bool) (hits int64) {
+	sets := b.Generate(count, sentinel)
+	for _, set := range sets {
+		if sentinel != nil && len(set) > 0 && sentinel[set[len(set)-1]] {
+			hits++
+			continue
+		}
+		idx.Add(set)
+	}
+	return hits
+}
+
+// outDegrees extracts the out-degree array used by the Revised-Greedy
+// tie-break.
+func outDegrees(gen rrset.Generator) []int32 {
+	g := gen.Graph()
+	deg := make([]int32, g.N())
+	for v := range deg {
+		deg[v] = int32(g.OutDegree(int32(v)))
+	}
+	return deg
+}
+
+// doublingRounds returns ceil(log2(max/initial)), the iteration budget of
+// the doubling schemes.
+func doublingRounds(initial, max int64) int {
+	if max <= initial {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(max) / float64(initial))))
+}

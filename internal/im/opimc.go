@@ -1,0 +1,68 @@
+package im
+
+import (
+	"time"
+
+	"subsim/internal/bounds"
+	"subsim/internal/coverage"
+	"subsim/internal/rrset"
+)
+
+// OPIMC is the online-processing IM algorithm of Tang et al. (2018),
+// the strongest baseline in the paper and the chassis SUBSIM plugs into.
+//
+// It maintains two independent RR collections of equal size: R₁ selects a
+// greedy seed set and yields the upper bound I⁺(S_k°) via Equation (2)
+// with the maxMC coverage bound, R₂ yields the lower bound I⁻(S_k*) via
+// Equation (1). The run stops as soon as I⁻/I⁺ exceeds 1-1/e-ε; otherwise
+// both collections double, up to the budget θ_max that guarantees success
+// in the final iteration.
+func OPIMC(gen rrset.Generator, opt Options) (*Result, error) {
+	start := time.Now()
+	g := gen.Graph()
+	n := g.N()
+	if err := opt.Normalize(n); err != nil {
+		return nil, err
+	}
+
+	thetaMax := bounds.ThetaMaxOPIMC(n, opt.K, opt.Eps, opt.Delta)
+	theta0 := bounds.Theta0(opt.Delta)
+	iMax := doublingRounds(theta0, thetaMax)
+	deltaIter := opt.Delta / (3 * float64(iMax))
+	target := bounds.GreedyFactor(opt.Eps)
+
+	b := NewBatcher(gen, opt.Seed, opt.Workers)
+	var outDeg []int32
+	if opt.Revised {
+		outDeg = outDegrees(gen)
+	}
+	idx1 := coverage.NewIndex(n, outDeg)
+	idx2 := coverage.NewIndex(n, outDeg)
+
+	res := &Result{}
+	theta := theta0
+	b.FillIndex(idx1, int(theta), nil)
+	b.FillIndex(idx2, int(theta), nil)
+
+	for i := 1; ; i++ {
+		res.Rounds = i
+		sel := idx1.SelectSeeds(coverage.GreedyOptions{K: opt.K, Revised: opt.Revised})
+		res.Seeds = sel.Seeds
+		res.UpperBound = bounds.UpperBound(sel.CoverageUpper, int64(idx1.NumSets()), n, deltaIter)
+		cov2 := idx2.CoverageOf(sel.Seeds)
+		res.LowerBound = bounds.LowerBound(cov2, int64(idx2.NumSets()), n, deltaIter)
+		res.Influence = float64(cov2) * float64(n) / float64(idx2.NumSets())
+		if res.UpperBound > 0 {
+			res.Approx = res.LowerBound / res.UpperBound
+		}
+		if res.Approx > target || i >= iMax {
+			break
+		}
+		b.FillIndex(idx1, int(theta), nil)
+		b.FillIndex(idx2, int(theta), nil)
+		theta *= 2
+	}
+	res.RRStats = b.Stats()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

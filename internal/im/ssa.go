@@ -1,0 +1,126 @@
+package im
+
+import (
+	"math"
+	"time"
+
+	"subsim/internal/bounds"
+	"subsim/internal/coverage"
+	"subsim/internal/rrset"
+)
+
+// SSA is the Stop-and-Stare algorithm of Nguyen et al. (2016) in the
+// corrected form of Huang et al. (2017) ("SSA-Fix"): an optimistic
+// doubling scheme that, after each greedy selection, *verifies* the seed
+// set by estimating its influence on an independent RR stream with the
+// stopping-rule estimator of Dagum et al., and accepts once the verified
+// estimate is close enough to the coverage-based one.
+//
+// Parameterisation follows the released SSA code: ε is split evenly into
+// ε₁ (selection-vs-verification gap), ε₂ (verification precision) and ε₃
+// (coverage concentration), with the per-iteration failure budget spread
+// uniformly so the run-level failure probability stays below δ. A budget
+// θ_max (the same pessimistic bound OPIM-C uses) caps the doubling so the
+// final iteration is unconditionally safe.
+func SSA(gen rrset.Generator, opt Options) (*Result, error) {
+	start := time.Now()
+	g := gen.Graph()
+	n := g.N()
+	if err := opt.Normalize(n); err != nil {
+		return nil, err
+	}
+	// The ε split follows the released SSA code: a small selection gap,
+	// half the budget on verification precision, the rest on coverage
+	// concentration.
+	eps1 := opt.Eps / 6
+	eps2 := opt.Eps / 2
+	eps3 := opt.Eps / 3
+
+	thetaMax := bounds.ThetaMaxOPIMC(n, opt.K, opt.Eps, opt.Delta)
+	// Λ: initial sample size from the SSA paper (the ln C(n,k) term
+	// belongs only in the worst-case cap θ_max, not in the optimistic
+	// starting size).
+	lambda := int64(math.Ceil((2 + 2*eps3/3) * math.Log(3/opt.Delta) / (eps3 * eps3)))
+	if lambda < 1 {
+		lambda = 1
+	}
+	tMax := doublingRounds(lambda, thetaMax)
+	deltaIter := opt.Delta / (3 * float64(tMax))
+	// Υ: stopping-rule target count for the verification estimator.
+	upsilon := int64(math.Ceil(1 + (1+eps2)*(2+2*eps2/3)*math.Log(2/deltaIter)/(eps2*eps2)))
+
+	b := NewBatcher(gen, opt.Seed, opt.Workers)
+	var outDeg []int32
+	if opt.Revised {
+		outDeg = outDegrees(gen)
+	}
+	idx := coverage.NewIndex(n, outDeg)
+
+	res := &Result{}
+	theta := lambda
+	for t := 1; ; t++ {
+		res.Rounds = t
+		if add := theta - int64(idx.NumSets()); add > 0 {
+			b.FillIndex(idx, int(add), nil)
+		}
+		sel := idx.SelectSeeds(coverage.GreedyOptions{K: opt.K, Revised: opt.Revised})
+		res.Seeds = sel.Seeds
+		covEst := float64(n) * float64(sel.TotalCoverage(0)) / float64(idx.NumSets())
+		res.Influence = covEst
+
+		if t >= tMax {
+			break
+		}
+
+		// Stare: verify on an independent stream until Υ covers or the
+		// budget (twice the selection collection) is exhausted.
+		verified, used := b.verify(res.Seeds, upsilon, 2*theta)
+		if used > 0 {
+			est := float64(verified) * float64(n) / float64(used)
+			res.LowerBound = bounds.LowerBound(verified, used, n, deltaIter)
+			if verified >= upsilon && est >= covEst/(1+eps1) {
+				break
+			}
+		}
+		theta *= 2
+	}
+	res.RRStats = b.Stats()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// verify draws RR sets one at a time until `target` of them are covered
+// by seeds or `cap` sets have been drawn, returning the covered count and
+// the number drawn. It implements the stopping-rule estimator on the
+// verification stream.
+func (b *Batcher) verify(seeds []int32, target, cap int64) (covered, used int64) {
+	g := b.gens[0].Graph()
+	inSeed := make([]bool, g.N())
+	for _, s := range seeds {
+		inSeed[s] = true
+	}
+	// Draw in modest batches to amortise parallel dispatch while not
+	// overshooting the stopping rule by much.
+	batch := int64(256)
+	for covered < target && used < cap {
+		want := batch
+		if used+want > cap {
+			want = cap - used
+		}
+		sets := b.Generate(int(want), nil)
+		for _, set := range sets {
+			used++
+			for _, v := range set {
+				if inSeed[v] {
+					covered++
+					break
+				}
+			}
+			if covered >= target {
+				break
+			}
+		}
+		batch *= 2
+	}
+	return covered, used
+}

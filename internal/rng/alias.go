@@ -1,0 +1,92 @@
+package rng
+
+import "fmt"
+
+// Alias is a Walker alias table (Walker 1977) for O(1) sampling from an
+// arbitrary discrete distribution over {0, ..., n-1}. The paper uses
+// alias sampling to jump between probability buckets in the general-IC
+// subset sampler (Section 3.3); it is also reused by the graph generators
+// to sample nodes proportionally to degree.
+//
+// Construction is O(n); each Sample is O(1) with exactly one Uint64 draw
+// and one comparison.
+type Alias struct {
+	prob  []float64 // acceptance threshold per column
+	alias []int32   // fallback outcome per column
+}
+
+// NewAlias builds an alias table from the given non-negative weights. The
+// weights need not sum to one; they are normalised internally. It returns
+// an error if weights is empty, contains a negative or non-finite value,
+// or sums to zero.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("rng: alias table needs at least one weight")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || w != w || w > 1e308 {
+			return nil, fmt.Errorf("rng: alias weight %d is invalid (%v)", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("rng: alias weights sum to zero")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scaled probabilities: mean 1. Columns below 1 are "small", above 1
+	// are "large"; each small column is topped up by one large donor.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Residual columns are full (probability 1) up to rounding error.
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small {
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a, nil
+}
+
+// N returns the number of outcomes in the table.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws one outcome in [0, N()) with probability proportional to
+// the weight supplied at construction.
+func (a *Alias) Sample(r *Source) int {
+	col := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[col] {
+		return col
+	}
+	return int(a.alias[col])
+}

@@ -1,0 +1,65 @@
+package rng
+
+import "math"
+
+// GeometricSkipInfinity is returned by Geometric when the success
+// probability is zero (or the drawn skip would overflow an int): the next
+// success lies beyond any finite sequence, so a scan can terminate
+// immediately.
+const GeometricSkipInfinity = math.MaxInt64
+
+// Geometric draws a variate from the geometric distribution G(p) on
+// {1, 2, 3, ...}: the number of independent Bernoulli(p) trials up to and
+// including the first success. It is the primitive behind SUBSIM's skip
+// sampling (paper Algorithm 3, lines 7 and 13): scanning a list of
+// elements that are each sampled independently with probability p, the
+// next sampled element lies Geometric(p) positions ahead.
+//
+// The constant-time inverse-transform form ceil(log U / log(1-p)) is used
+// (Knuth, TAOCP vol. 3): h' = i iff U ∈ [(1-p)^i, (1-p)^{i-1}), an event
+// of probability (1-p)^{i-1}·p. log1p(-p) keeps full precision for the
+// small p typical of social-network edge weights.
+//
+// Geometric returns GeometricSkipInfinity when p <= 0, and 1 when p >= 1.
+func (r *Source) Geometric(p float64) int64 {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		return GeometricSkipInfinity
+	}
+	u := r.OpenFloat64()
+	v := math.Ceil(math.Log(u) / math.Log1p(-p))
+	if v < 1 {
+		// Floating-point rounding can yield 0 when u is extremely close
+		// to 1; the distribution's support starts at 1.
+		return 1
+	}
+	if v >= float64(GeometricSkipInfinity) {
+		return GeometricSkipInfinity
+	}
+	return int64(v)
+}
+
+// GeometricFromLog is Geometric with the denominator log(1-p)
+// precomputed. RR set generation calls Geometric once per examined edge;
+// hoisting the log out of the loop when p is fixed per node saves a
+// transcendental call per skip. logOneMinusP must equal math.Log1p(-p)
+// and be negative; pass math.Inf(-1) for p == 1.
+func (r *Source) GeometricFromLog(logOneMinusP float64) int64 {
+	if math.IsInf(logOneMinusP, -1) {
+		return 1
+	}
+	if logOneMinusP >= 0 {
+		return GeometricSkipInfinity
+	}
+	u := r.OpenFloat64()
+	v := math.Ceil(math.Log(u) / logOneMinusP)
+	if v < 1 {
+		return 1
+	}
+	if v >= float64(GeometricSkipInfinity) {
+		return GeometricSkipInfinity
+	}
+	return int64(v)
+}

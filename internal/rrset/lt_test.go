@@ -1,0 +1,174 @@
+package rrset
+
+import (
+	"math"
+	"testing"
+
+	"subsim/internal/diffusion"
+	"subsim/internal/graph"
+	"subsim/internal/rng"
+)
+
+// TestLTLineDeterministic: on a line with in-degree 1 and LT (WC)
+// weights, every edge weight is 1, so the reverse walk from root collects
+// every ancestor deterministically.
+func TestLTLineDeterministic(t *testing.T) {
+	const n = 9
+	g := graph.GenLine(n, 0)
+	g.AssignLT()
+	gen := NewLT(g)
+	r := rng.New(1)
+	set := gen.Generate(r, n-1, nil)
+	if len(set) != n {
+		t.Fatalf("LT line RR set %v", set)
+	}
+}
+
+// TestLTLemma1 verifies n·Pr[S ∩ R ≠ ∅] ≈ I_LT(S) against forward LT
+// simulation.
+func TestLTLemma1(t *testing.T) {
+	r := rng.New(2)
+	g, err := graph.GenErdosRenyi(70, 420, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AssignLT()
+	seeds := []int32{2, 11, 33}
+	fwd := diffusion.EstimateParallel(g, seeds, 80000, diffusion.LTModel, 3, 2)
+	inSeed := make([]bool, g.N())
+	for _, s := range seeds {
+		inSeed[s] = true
+	}
+	gen := NewLT(g)
+	rr := rng.New(4)
+	const draws = 80000
+	covered := 0
+	for d := 0; d < draws; d++ {
+		set := GenerateRandom(gen, rr, nil)
+		for _, v := range set {
+			if inSeed[v] {
+				covered++
+				break
+			}
+		}
+	}
+	rev := float64(covered) / draws * float64(g.N())
+	if math.Abs(rev-fwd) > 0.05*fwd+1.5 {
+		t.Fatalf("LT reverse estimate %v vs forward %v", rev, fwd)
+	}
+}
+
+// TestLTSkewedWalkDistribution: with a single target of two in-neighbors
+// at weights 0.75/0.25, the first walk step picks them 3:1.
+func TestLTSkewedWalkDistribution(t *testing.T) {
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 2, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	gen := NewLT(g)
+	r := rng.New(5)
+	const draws = 120000
+	count0, count1 := 0, 0
+	for d := 0; d < draws; d++ {
+		set := gen.Generate(r, 2, nil)
+		if len(set) < 2 {
+			t.Fatalf("walk stopped despite in-sum 1: %v", set)
+		}
+		switch set[1] {
+		case 0:
+			count0++
+		case 1:
+			count1++
+		}
+	}
+	got := float64(count0) / draws
+	if math.Abs(got-0.75) > 0.01 {
+		t.Fatalf("first step picked node 0 with frequency %v, want 0.75", got)
+	}
+	_ = count1
+}
+
+// TestLTPartialWeightStops: with in-sum 0.5 the walk stops half the time
+// at the root.
+func TestLTPartialWeightStops(t *testing.T) {
+	b := graph.NewBuilder(2)
+	if err := b.AddEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	gen := NewLT(g)
+	r := rng.New(6)
+	const draws = 100000
+	extended := 0
+	for d := 0; d < draws; d++ {
+		if len(gen.Generate(r, 1, nil)) == 2 {
+			extended++
+		}
+	}
+	got := float64(extended) / draws
+	if math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("walk extended with frequency %v, want 0.5", got)
+	}
+}
+
+func TestLTSentinel(t *testing.T) {
+	const n = 9
+	g := graph.GenLine(n, 0)
+	g.AssignLT()
+	gen := NewLT(g)
+	sentinel := make([]bool, n)
+	sentinel[4] = true
+	r := rng.New(7)
+	set := gen.Generate(r, n-1, sentinel)
+	if set[len(set)-1] != 4 {
+		t.Fatalf("LT walk did not stop at sentinel: %v", set)
+	}
+	if len(set) != n-4 {
+		t.Fatalf("LT sentinel set size %d", len(set))
+	}
+	// Sentinel root.
+	sentinel[n-1] = true
+	set = gen.Generate(r, n-1, sentinel)
+	if len(set) != 1 {
+		t.Fatalf("sentinel root: %v", set)
+	}
+}
+
+func TestLTCloneAndStats(t *testing.T) {
+	g := graph.GenLine(5, 0)
+	g.AssignLT()
+	gen := NewLT(g)
+	r := rng.New(8)
+	gen.Generate(r, 4, nil)
+	if gen.Stats().Sets != 1 {
+		t.Fatal("stats not counted")
+	}
+	c := gen.Clone()
+	if c.Stats().Sets != 0 {
+		t.Fatal("clone shares stats")
+	}
+	gen.ResetStats()
+	if gen.Stats().Sets != 0 {
+		t.Fatal("reset failed")
+	}
+	if gen.Graph() != g {
+		t.Fatal("Graph() mismatch")
+	}
+}
+
+// TestLTRevisitTerminates: on a ring with weight-1 edges the walk must
+// stop upon revisiting, not loop forever.
+func TestLTRevisitTerminates(t *testing.T) {
+	g := graph.GenRing(6, 0)
+	g.AssignLT()
+	gen := NewLT(g)
+	r := rng.New(9)
+	set := gen.Generate(r, 0, nil)
+	if len(set) != 6 {
+		t.Fatalf("ring walk size %d", len(set))
+	}
+}

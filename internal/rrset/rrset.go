@@ -1,0 +1,144 @@
+// Package rrset implements random reverse-reachable (RR) set generation,
+// the key phase of all sampling-based influence-maximization algorithms
+// and the subject of the paper's contribution.
+//
+// An RR set for a target node v under the Independent Cascade model is
+// the set of nodes that reach v in a random subgraph where each edge
+// (u,w) survives independently with probability p(u,w); it is produced by
+// a reverse breadth-first traversal that activates in-neighbors
+// stochastically. The package provides:
+//
+//   - Vanilla (paper Algorithm 2): one coin flip per incoming edge.
+//   - Subsim (paper Algorithm 3): geometric skip sampling over the
+//     in-neighbor list when a node's incoming probabilities are equal
+//     (WC, WC variant, Uniform IC), falling back to the index-free
+//     sorted sampler for general weights.
+//   - SubsimBucketed: the preprocessed general-IC sampler of Lemma 5,
+//     optionally with the bucket-jump chain.
+//   - LT: the linear-threshold generator (a reverse random walk).
+//
+// Every generator accepts an optional sentinel set: the traversal stops
+// the moment a sentinel node is activated (paper Algorithm 5,
+// "RR set-with-Sentinel"), which is what makes HIST's second phase cheap.
+//
+// Generators carry per-instance scratch buffers and statistics and are
+// therefore NOT safe for concurrent use; call Clone to obtain an
+// independent generator per goroutine.
+package rrset
+
+import (
+	"subsim/internal/graph"
+	"subsim/internal/rng"
+)
+
+// RRSet is one reverse-reachable sample: the distinct nodes that reach
+// the target, target first. The order of the remaining nodes follows the
+// traversal and is not significant.
+type RRSet []int32
+
+// Stats accumulates the cost counters the paper reports: the number of
+// sets generated, their total size (so Nodes/Sets is the average RR set
+// size of Figure 3b), and the number of edge examinations — coin flips
+// for the vanilla generator, geometric draws and landings for SUBSIM —
+// which is the abstract cost measure of Lemma 4.
+type Stats struct {
+	Sets          int64
+	Nodes         int64
+	EdgesExamined int64
+}
+
+// AvgSize returns the average RR set size, or 0 before any set has been
+// generated.
+func (s Stats) AvgSize() float64 {
+	if s.Sets == 0 {
+		return 0
+	}
+	return float64(s.Nodes) / float64(s.Sets)
+}
+
+// Add merges the counters of other into s.
+func (s *Stats) Add(other Stats) {
+	s.Sets += other.Sets
+	s.Nodes += other.Nodes
+	s.EdgesExamined += other.EdgesExamined
+}
+
+// Generator produces random RR sets over a fixed graph.
+type Generator interface {
+	// Generate returns the RR set of root. A non-nil sentinel (indexed
+	// by node) makes the traversal stop as soon as a sentinel node is
+	// activated. The returned slice is freshly allocated and owned by
+	// the caller.
+	Generate(r *rng.Source, root int32, sentinel []bool) RRSet
+	// Graph returns the graph the generator samples over.
+	Graph() *graph.Graph
+	// Stats returns the counters accumulated since the last ResetStats.
+	Stats() Stats
+	// ResetStats zeroes the counters.
+	ResetStats()
+	// Clone returns a generator with fresh scratch space and zeroed
+	// stats for use by another goroutine.
+	Clone() Generator
+}
+
+// RandomRoot samples a uniform target node, the first step of random RR
+// set construction.
+func RandomRoot(r *rng.Source, g *graph.Graph) int32 {
+	return int32(r.Intn(g.N()))
+}
+
+// GenerateRandom draws a uniform root and returns its RR set.
+func GenerateRandom(gen Generator, r *rng.Source, sentinel []bool) RRSet {
+	return gen.Generate(r, RandomRoot(r, gen.Graph()), sentinel)
+}
+
+// traversal is the shared reverse-BFS state: an epoch-stamped visited
+// array (cleared in O(1) by bumping the epoch) and a reusable queue.
+type traversal struct {
+	g       *graph.Graph
+	visited []uint32
+	epoch   uint32
+	queue   []int32
+}
+
+func newTraversal(g *graph.Graph) traversal {
+	return traversal{
+		g:       g,
+		visited: make([]uint32, g.N()),
+		queue:   make([]int32, 0, 256),
+	}
+}
+
+// begin starts a new traversal from root. If the root itself is a
+// sentinel the RR set is just {root} and done is true.
+func (t *traversal) begin(root int32, sentinel []bool) (set RRSet, done bool) {
+	t.epoch++
+	if t.epoch == 0 { // wrapped: reset stamps
+		for i := range t.visited {
+			t.visited[i] = 0
+		}
+		t.epoch = 1
+	}
+	t.visited[root] = t.epoch
+	t.queue = t.queue[:0]
+	set = append(make(RRSet, 0, 8), root)
+	if sentinel != nil && sentinel[root] {
+		return set, true
+	}
+	t.queue = append(t.queue, root)
+	return set, false
+}
+
+// activate marks w visited and appends it to set and queue. It reports
+// whether the whole traversal must stop because w is a sentinel.
+func (t *traversal) activate(w int32, sentinel []bool, set *RRSet) (stop bool) {
+	t.visited[w] = t.epoch
+	*set = append(*set, w)
+	if sentinel != nil && sentinel[w] {
+		return true
+	}
+	t.queue = append(t.queue, w)
+	return false
+}
+
+func (t *traversal) seen(w int32) bool { return t.visited[w] == t.epoch }

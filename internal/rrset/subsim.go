@@ -1,0 +1,233 @@
+package rrset
+
+import (
+	"math"
+
+	"subsim/internal/graph"
+	"subsim/internal/rng"
+)
+
+// Subsim is the paper's RR set generator (Algorithm 3, extended to
+// general IC in Section 3.3). When the graph offers equal per-node
+// incoming probabilities (WC, WC variant, Uniform IC), activating the
+// in-neighbors of a node costs O(1 + Σp) expected via geometric skip
+// sampling. For skewed weights the generator uses the index-free sorted
+// sampler, which requires the graph's in-edges to be sorted by descending
+// probability (Graph.SortInEdges); NewSubsim performs the sort when
+// needed.
+//
+// Two engineering refinements over the paper's pseudocode, both
+// distribution-preserving:
+//
+//   - log1p(-p) for every bucket head is precomputed once at
+//     construction (O(m) time, O(n log d) memory, shared by all clones),
+//     so no logarithm is recomputed in the hot loop;
+//   - the first landing in a scan region of s slots is drawn by inverse
+//     transform from a single uniform u: no landing iff u ≥ 1-(1-p)^s (a
+//     precomputed threshold), otherwise the landing position is
+//     ⌈log1p(-u)/log1p(-p)⌉. Untouched nodes and buckets — the common
+//     case — therefore cost one comparison instead of one logarithm,
+//     which is where the classic per-bucket log-h overhead went.
+type Subsim struct {
+	t     traversal
+	stats Stats
+	// buckets[v] describes node v's descending-sorted in-edge buckets
+	// (bucket j spans 1-indexed positions [2^j, 2^{j+1})). Nil when the
+	// graph offers the equal-probability fast path.
+	buckets [][]bucketInfo
+}
+
+// bucketInfo caches, per position bucket, the geometric-skip denominator
+// for the bucket head and the probability that the bucket yields at
+// least one landing.
+type bucketInfo struct {
+	logHead float64 // log1p(-head); -Inf when head >= 1
+	touched float64 // 1 - (1-head)^size
+}
+
+// NewSubsim returns a SUBSIM generator over g. If g has skewed weights
+// and unsorted in-edges, they are sorted in place (a one-time O(m log n)
+// preprocessing shared by all clones).
+func NewSubsim(g *graph.Graph) *Subsim {
+	s := &Subsim{t: newTraversal(g)}
+	if !g.UniformIn() {
+		g.SortInEdges()
+		s.buckets = buildBucketInfo(g)
+	}
+	return s
+}
+
+func buildBucketInfo(g *graph.Graph) [][]bucketInfo {
+	infos := make([][]bucketInfo, g.N())
+	for v := int32(0); v < int32(g.N()); v++ {
+		_, probs := g.InNeighbors(v)
+		if len(probs) == 0 {
+			continue
+		}
+		var row []bucketInfo
+		for start := 1; start <= len(probs); start *= 2 {
+			end := start * 2
+			if end > len(probs)+1 {
+				end = len(probs) + 1
+			}
+			head := probs[start-1]
+			var bi bucketInfo
+			switch {
+			case head >= 1:
+				bi = bucketInfo{logHead: math.Inf(-1), touched: 1}
+			case head > 0:
+				logHead := math.Log1p(-head)
+				bi = bucketInfo{
+					logHead: logHead,
+					touched: -math.Expm1(float64(end-start) * logHead),
+				}
+			default:
+				bi = bucketInfo{} // touched 0: the scan stops here
+			}
+			row = append(row, bi)
+		}
+		infos[v] = row
+	}
+	return infos
+}
+
+// Graph returns the underlying graph.
+func (s *Subsim) Graph() *graph.Graph { return s.t.g }
+
+// Stats returns the accumulated counters.
+func (s *Subsim) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters.
+func (s *Subsim) ResetStats() { s.stats = Stats{} }
+
+// Clone returns an independent generator for another goroutine, sharing
+// the immutable precomputed bucket tables.
+func (s *Subsim) Clone() Generator {
+	return &Subsim{t: newTraversal(s.t.g), buckets: s.buckets}
+}
+
+// Generate performs the reverse traversal with subset-sampled in-neighbor
+// activation.
+func (s *Subsim) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
+	set, done := s.t.begin(root, sentinel)
+	if done {
+		s.note(set)
+		return set
+	}
+	g := s.t.g
+	if g.UniformIn() {
+		s.generateUniform(r, g, sentinel, &set)
+	} else {
+		s.generateSorted(r, g, sentinel, &set)
+	}
+	s.note(set)
+	return set
+}
+
+// firstLanding converts a uniform u < touched into the 1-indexed position
+// of the first landing of a Bernoulli(p) scan, clamped to [1, size].
+func firstLanding(u, logHead float64, size int64) int64 {
+	if math.IsInf(logHead, -1) {
+		return 1
+	}
+	x := int64(math.Ceil(math.Log1p(-u) / logHead))
+	if x < 1 {
+		return 1
+	}
+	if x > size {
+		return size
+	}
+	return x
+}
+
+// generateUniform is the Algorithm 3 fast path: one geometric skip stream
+// per activated node, entered only when a single uniform says the node's
+// in-neighbor scan produces at least one landing.
+func (s *Subsim) generateUniform(r *rng.Source, g *graph.Graph, sentinel []bool, set *RRSet) {
+	for len(s.t.queue) > 0 {
+		u := s.t.queue[len(s.t.queue)-1]
+		s.t.queue = s.t.queue[:len(s.t.queue)-1]
+		sources, _ := g.InNeighbors(u)
+		if len(sources) == 0 {
+			continue
+		}
+		s.stats.EdgesExamined++
+		u0 := r.Float64()
+		touched := g.UniformInTouched(u)
+		if u0 >= touched {
+			continue
+		}
+		_, logP, _ := g.UniformInProb(u)
+		h := int64(len(sources))
+		pos := firstLanding(u0, logP, h) - 1
+		for {
+			s.stats.EdgesExamined++
+			w := sources[pos]
+			if !s.t.seen(w) {
+				if s.t.activate(w, sentinel, set) {
+					return
+				}
+			}
+			skip := r.GeometricFromLog(logP)
+			if skip >= h-pos {
+				break
+			}
+			pos += skip
+		}
+	}
+}
+
+// generateSorted is the Section 3.3 index-free general-IC path over
+// descending-sorted in-edges, with per-bucket first-landing shortcuts.
+func (s *Subsim) generateSorted(r *rng.Source, g *graph.Graph, sentinel []bool, set *RRSet) {
+	for len(s.t.queue) > 0 {
+		u := s.t.queue[len(s.t.queue)-1]
+		s.t.queue = s.t.queue[:len(s.t.queue)-1]
+		sources, probs := g.InNeighbors(u)
+		if len(sources) == 0 {
+			continue
+		}
+		row := s.buckets[u]
+		h := len(sources)
+		s.stats.EdgesExamined++
+		for j, start := 0, 1; start <= h; j, start = j+1, start*2 {
+			bi := row[j]
+			if bi.touched <= 0 {
+				break // descending order: nothing further can be sampled
+			}
+			u0 := r.Float64()
+			if u0 >= bi.touched {
+				continue
+			}
+			end := start * 2
+			if end > h+1 {
+				end = h + 1
+			}
+			head := probs[start-1]
+			pos := int64(start-1) + firstLanding(u0, bi.logHead, int64(end-start))
+			for {
+				s.stats.EdgesExamined++
+				// Thin the Geometric(head) stream down to the true
+				// probability of the landed position.
+				if p := probs[pos-1]; p >= head || r.Float64()*head < p {
+					w := sources[pos-1]
+					if !s.t.seen(w) {
+						if s.t.activate(w, sentinel, set) {
+							return
+						}
+					}
+				}
+				skip := r.GeometricFromLog(bi.logHead)
+				if skip >= int64(end)-pos {
+					break
+				}
+				pos += skip
+			}
+		}
+	}
+}
+
+func (s *Subsim) note(set RRSet) {
+	s.stats.Sets++
+	s.stats.Nodes += int64(len(set))
+}

@@ -1,0 +1,232 @@
+package sampling
+
+import (
+	"math"
+
+	"subsim/internal/rng"
+)
+
+// Bucketed is the preprocessed general-IC subset sampler of the paper's
+// Section 3.3 (after Bringmann & Panagiotou): probabilities are grouped
+// into powers-of-two buckets, with p_i assigned to bucket k when
+// 2^{-k} >= p_i > 2^{-k-1} (and the final bucket collecting everything
+// at or below 2^{-K}). Within a bucket, elements are scanned with
+// Geometric(2^{-k}) skips and accepted with probability p_i·2^k, so the
+// expected per-bucket cost is at most twice the bucket's probability
+// mass plus one geometric draw.
+//
+// With the optional bucket-jump chain (NewBucketedJump), empty iterations
+// over buckets that produce no landing are skipped via an alias-sampled
+// "next touched bucket" chain (the paper's T table), bringing the
+// expected cost per draw to O(1 + μ).
+//
+// Construction is O(h) (plus O(log² h) for the jump chain); a Bucketed
+// value is immutable and safe for concurrent Sample calls with distinct
+// rng.Sources.
+type Bucketed struct {
+	h       int
+	buckets []bucket
+	// jump[i] samples the next touched bucket after chain position i
+	// (position 0 = before the first bucket); outcome len(buckets)
+	// means "no further bucket is touched". Nil without the jump chain.
+	jump []*rng.Alias
+}
+
+type bucket struct {
+	idx     []int32   // element indices in this bucket
+	p       []float64 // their probabilities, aligned with idx
+	bound   float64   // 2^{-k}: upper bound for every p in the bucket
+	logB    float64   // log1p(-bound); 0 is unused when bound >= 1
+	touched float64   // probability at least one geometric landing occurs
+}
+
+// NewBucketed preprocesses probs (each in [0,1]) into the bucketed
+// structure. Zero probabilities are dropped. The element order inside a
+// bucket follows the input order.
+func NewBucketed(probs []float64) *Bucketed {
+	h := len(probs)
+	b := &Bucketed{h: h}
+	if h == 0 {
+		return b
+	}
+	// Deepest bucket index: probabilities at or below 2^{-maxK} share
+	// the final bucket, per Lemma 5.
+	maxK := int(math.Ceil(math.Log2(float64(h))))
+	if maxK < 0 {
+		maxK = 0
+	}
+	byK := make([][]int32, maxK+1)
+	for i, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		k := 0
+		if p < 1 {
+			// Largest k with 2^{-k} >= p, i.e. k = floor(-log2 p).
+			k = int(math.Floor(-math.Log2(p)))
+			if k < 0 {
+				k = 0
+			}
+			if k > maxK {
+				k = maxK
+			}
+			// Guard against floating-point drift right at a power of
+			// two: the bucket bound must dominate p.
+			for k > 0 && math.Pow(2, -float64(k)) < p {
+				k--
+			}
+		}
+		byK[k] = append(byK[k], int32(i))
+	}
+	for k, idx := range byK {
+		if len(idx) == 0 {
+			continue
+		}
+		bk := bucket{
+			idx:   idx,
+			p:     make([]float64, len(idx)),
+			bound: math.Pow(2, -float64(k)),
+		}
+		for j, i := range idx {
+			bk.p[j] = probs[i]
+		}
+		if bk.bound >= 1 {
+			bk.bound = 1
+			bk.touched = 1
+		} else {
+			bk.logB = math.Log1p(-bk.bound)
+			// 1 - (1-bound)^{|B_k|}, computed without cancellation.
+			bk.touched = -math.Expm1(float64(len(idx)) * bk.logB)
+		}
+		b.buckets = append(b.buckets, bk)
+	}
+	return b
+}
+
+// NewBucketedJump builds the bucketed sampler plus the bucket-jump chain
+// that skips untouched buckets in O(1) per touched bucket.
+func NewBucketedJump(probs []float64) *Bucketed {
+	b := NewBucketed(probs)
+	L := len(b.buckets)
+	if L == 0 {
+		return b
+	}
+	b.jump = make([]*rng.Alias, L)
+	// Row i: distribution of the first touched bucket with index >= i;
+	// outcome L is the sentinel "none".
+	for i := 0; i < L; i++ {
+		weights := make([]float64, L+1)
+		pass := 1.0
+		for j := i; j < L; j++ {
+			weights[j] = pass * b.buckets[j].touched
+			pass *= 1 - b.buckets[j].touched
+		}
+		weights[L] = pass
+		a, err := rng.NewAlias(weights)
+		if err != nil {
+			// Unreachable: touched probabilities are in [0,1] and the
+			// row always has positive total mass.
+			panic(err)
+		}
+		b.jump[i] = a
+	}
+	return b
+}
+
+// H returns the number of elements the sampler was built over.
+func (b *Bucketed) H() int { return b.h }
+
+// Mu returns the expected subset size Σ p_i.
+func (b *Bucketed) Mu() float64 {
+	var mu float64
+	for _, bk := range b.buckets {
+		for _, p := range bk.p {
+			mu += p
+		}
+	}
+	return mu
+}
+
+// Sample draws one independent subset, yielding each element index with
+// its configured probability. Yield follows the range-over-func
+// convention: returning false stops the draw early.
+func (b *Bucketed) Sample(r *rng.Source, yield func(int) bool) {
+	if b.jump == nil {
+		for i := range b.buckets {
+			if !b.buckets[i].scan(r, yield, 0) {
+				return
+			}
+		}
+		return
+	}
+	cur := 0
+	for cur < len(b.buckets) {
+		next := b.jump[cur].Sample(r)
+		if next >= len(b.buckets) {
+			return
+		}
+		bk := &b.buckets[next]
+		// The chain conditioned on bucket `next` being touched: draw the
+		// first landing from the truncated geometric, then continue the
+		// plain geometric scan behind it.
+		first := bk.firstLanding(r)
+		if r.Float64()*bk.bound < bk.p[first] {
+			if !yield(int(bk.idx[first])) {
+				return
+			}
+		}
+		if !bk.scan(r, yield, first+1) {
+			return
+		}
+		cur = next + 1
+	}
+}
+
+// scan performs the plain geometric-skip pass over the bucket starting at
+// element offset `from`. It reports false when yield requested an early
+// stop.
+func (bk *bucket) scan(r *rng.Source, yield func(int) bool, from int) bool {
+	s := len(bk.idx)
+	if from >= s {
+		return true
+	}
+	if bk.bound >= 1 {
+		for j := from; j < s; j++ {
+			if r.Bernoulli(bk.p[j]) && !yield(int(bk.idx[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	pos := int64(from) - 1
+	for {
+		skip := r.GeometricFromLog(bk.logB)
+		if skip >= int64(s)-pos {
+			return true
+		}
+		pos += skip
+		if r.Float64()*bk.bound < bk.p[pos] && !yield(int(bk.idx[pos])) {
+			return false
+		}
+	}
+}
+
+// firstLanding draws the 0-based offset of the first geometric landing in
+// the bucket, conditioned on at least one landing occurring.
+func (bk *bucket) firstLanding(r *rng.Source) int {
+	if bk.bound >= 1 {
+		return 0
+	}
+	s := len(bk.idx)
+	// X ~ Geometric(bound) | X <= s via inverse transform on the
+	// truncated CDF: X = ceil(log1p(-U·touched)/log1p(-bound)).
+	u := r.Float64()
+	x := int(math.Ceil(math.Log1p(-u*bk.touched) / bk.logB))
+	if x < 1 {
+		x = 1
+	}
+	if x > s {
+		x = s
+	}
+	return x - 1
+}

@@ -1,0 +1,96 @@
+package seedio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseList(t *testing.T) {
+	seeds, err := ParseList(" 3, 17,42 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{3, 17, 42}
+	for i := range want {
+		if seeds[i] != want[i] {
+			t.Fatalf("got %v", seeds)
+		}
+	}
+	if _, err := ParseList(""); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := ParseList("1,x"); err == nil {
+		t.Error("junk accepted")
+	}
+	if _, err := ParseList("1,,2"); err != nil {
+		t.Errorf("empty field should be skipped: %v", err)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	seeds := []int32{5, 0, 999999}
+	var buf bytes.Buffer
+	if err := Write(&buf, seeds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(seeds) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range seeds {
+		if got[i] != seeds[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestReadCommentsAndErrors(t *testing.T) {
+	got, err := Read(strings.NewReader("# header\n\n7\n  8 \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Read(strings.NewReader("abc\n")); err == nil {
+		t.Error("junk line accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seeds.txt")
+	seeds := []int32{1, 2, 3}
+	if err := WriteFile(path, seeds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]int32{0, 4}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate([]int32{5}, 5); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+	if err := Validate([]int32{-1}, 5); err == nil {
+		t.Error("negative seed accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package subsim_test
+
+import (
+	"testing"
+
+	"subsim"
+)
+
+// TestMaximizeSmoke runs every algorithm end-to-end on a small scale-free
+// graph and cross-checks the returned seed sets by forward simulation:
+// each algorithm's spread must be within a modest factor of the best
+// algorithm's spread, and far above a random seed set's.
+func TestMaximizeSmoke(t *testing.T) {
+	g, err := subsim.GenPreferentialAttachment(3000, 5, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AssignWC()
+
+	opt := subsim.Options{K: 10, Eps: 0.3, Seed: 11, Workers: 2}
+	algs := []subsim.Algorithm{
+		subsim.AlgIMM, subsim.AlgSSA, subsim.AlgOPIMC,
+		subsim.AlgSUBSIM, subsim.AlgHIST, subsim.AlgHISTSubsim,
+	}
+	spreads := make(map[subsim.Algorithm]float64)
+	best := 0.0
+	for _, alg := range algs {
+		res, err := subsim.Maximize(g, alg, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(res.Seeds) != opt.K {
+			t.Fatalf("%v: got %d seeds, want %d", alg, len(res.Seeds), opt.K)
+		}
+		seen := make(map[int32]bool)
+		for _, s := range res.Seeds {
+			if s < 0 || int(s) >= g.N() {
+				t.Fatalf("%v: seed %d out of range", alg, s)
+			}
+			if seen[s] {
+				t.Fatalf("%v: duplicate seed %d", alg, s)
+			}
+			seen[s] = true
+		}
+		spread := subsim.EstimateInfluence(g, res.Seeds, 3000, subsim.IC, 3)
+		spreads[alg] = spread
+		if spread > best {
+			best = spread
+		}
+		t.Logf("%-12v spread=%.1f influence=%.1f rounds=%d rrsets=%d elapsed=%v",
+			alg, spread, res.Influence, res.Rounds, res.RRStats.Sets, res.Elapsed)
+	}
+	random := subsim.EstimateInfluence(g, []int32{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}, 3000, subsim.IC, 3)
+	t.Logf("random seeds spread=%.1f", random)
+	for alg, s := range spreads {
+		if s < 0.8*best {
+			t.Errorf("%v spread %.1f below 80%% of best %.1f", alg, s, best)
+		}
+	}
+}
