@@ -2,12 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench examples experiments quick clean
+.PHONY: all build vet test race cover bench benchobs examples experiments quick clean
 
-all: build test
+all: build vet test race
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
@@ -21,6 +23,10 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Observability overhead: bare vs nil-wrapped vs metrics-on RR generation.
+benchobs:
+	$(GO) test ./internal/rrset -run '^$$' -bench InstrumentedGenerate -benchmem -count 3
 
 examples:
 	$(GO) run ./examples/quickstart

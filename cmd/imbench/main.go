@@ -15,6 +15,10 @@
 //	-workers RR-generation parallelism (default GOMAXPROCS)
 //	-k       comma-separated k sweep for fig1/fig4/fig5
 //	-quick   tiny datasets and budgets (smoke test, seconds)
+//	-trace   write a schema-versioned JSON run report covering every
+//	         experiment (one top-level span per experiment id)
+//	-metrics dump Prometheus-style RR metrics to stderr after the run
+//	-pprof   serve net/http/pprof and expvar on this address (e.g. :6060)
 //
 // Example:
 //
@@ -24,11 +28,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 
 	"subsim/internal/bench"
+	"subsim/internal/obs"
 )
 
 func main() {
@@ -40,6 +47,9 @@ func main() {
 	workers := flag.Int("workers", 0, "RR generation workers (0 = GOMAXPROCS)")
 	ks := flag.String("k", "", "comma-separated k sweep (overrides default)")
 	quick := flag.Bool("quick", false, "tiny smoke-test configuration")
+	tracePath := flag.String("trace", "", "write the JSON run report to this file")
+	metrics := flag.Bool("metrics", false, "dump Prometheus-style metrics to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -78,10 +88,57 @@ func main() {
 		}
 	}
 
+	var tr *obs.Tracer
+	if *tracePath != "" || *metrics || *pprofAddr != "" {
+		tr = obs.NewTracer()
+		tr.SetMeta("tool", "imbench")
+		tr.SetMeta("experiments", strings.Join(ids, ","))
+		tr.SetMeta("scale", *scale)
+		tr.SetMeta("eps", *eps)
+		tr.SetMeta("seed", *seed)
+		cfg.Tracer = tr
+	}
+	if *pprofAddr != "" {
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			tr.Metrics().WritePrometheus(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "imbench: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "imbench: pprof/expvar on %s (/debug/pprof, /debug/vars, /metrics)\n", *pprofAddr)
+	}
+
 	for _, id := range ids {
-		if _, err := bench.Experiments[id](cfg, os.Stdout); err != nil {
+		span := tr.Span(id)
+		_, err := bench.Experiments[id](cfg, os.Stdout)
+		span.End()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "imbench: %s: %v\n", id, err)
 			os.Exit(1)
+		}
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tr.Report().WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "imbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "imbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace %s\n", *tracePath)
+	}
+	if *metrics {
+		if err := tr.Metrics().WritePrometheus(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "imbench: %v\n", err)
 		}
 	}
 }

@@ -16,11 +16,20 @@
 //	-workers RR-generation parallelism (0 = GOMAXPROCS)
 //	-mc      forward simulations for the final spread estimate (0 = skip)
 //	-lt      run under the Linear Threshold model (imm/ssa/opimc only)
+//	-out     write the seed set to this file (one id per line)
+//	-trace   write the schema-versioned JSON run report to this file
+//	-metrics dump Prometheus-style metrics to stderr after the run
+//	-json    emit the full Result plus run report as one JSON object
+//	-pprof   serve net/http/pprof and expvar on this address (e.g. :6060)
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -37,6 +46,25 @@ var algByName = map[string]subsim.Algorithm{
 	"hist+subsim": subsim.AlgHISTSubsim,
 }
 
+// jsonOutput is the -json document: the run parameters, the full Result
+// (whose Report field carries the span tree and histograms), and the
+// optional forward-MC spread.
+type jsonOutput struct {
+	Graph struct {
+		Path  string `json:"path"`
+		N     int    `json:"n"`
+		M     int64  `json:"m"`
+		Model string `json:"model"`
+	} `json:"graph"`
+	Algorithm string         `json:"algorithm"`
+	K         int            `json:"k"`
+	Eps       float64        `json:"eps"`
+	Seed      uint64         `json:"seed"`
+	MCSpread  *float64       `json:"mc_spread,omitempty"`
+	MCSamples int            `json:"mc_samples,omitempty"`
+	Result    *subsim.Result `json:"result"`
+}
+
 func main() {
 	graphPath := flag.String("graph", "", "input graph path")
 	algName := flag.String("alg", "subsim", "algorithm: imm, ssa, opimc, subsim, hist, hist+subsim")
@@ -47,6 +75,10 @@ func main() {
 	mc := flag.Int("mc", 10000, "forward simulations for spread estimate (0 = skip)")
 	lt := flag.Bool("lt", false, "use the Linear Threshold model")
 	out := flag.String("out", "", "write the seed set to this file (one id per line)")
+	tracePath := flag.String("trace", "", "write the JSON run report to this file")
+	metrics := flag.Bool("metrics", false, "dump Prometheus-style metrics to stderr")
+	jsonOut := flag.Bool("json", false, "emit Result + run report as one JSON object on stdout")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	flag.Parse()
 
 	if *graphPath == "" {
@@ -66,6 +98,37 @@ func main() {
 	}
 	opt := subsim.Options{K: *k, Eps: *eps, Seed: *seed, Workers: *workers}
 
+	// Any observability consumer turns the tracer on; a nil tracer costs
+	// nothing otherwise.
+	var tr *subsim.Tracer
+	if *tracePath != "" || *metrics || *jsonOut || *pprofAddr != "" {
+		tr = subsim.NewTracer()
+		tr.SetMeta("algorithm", alg.String())
+		tr.SetMeta("graph", *graphPath)
+		tr.SetMeta("graph_n", g.N())
+		tr.SetMeta("graph_m", g.M())
+		tr.SetMeta("k", *k)
+		tr.SetMeta("eps", *eps)
+		tr.SetMeta("seed", *seed)
+		opt.Tracer = tr
+	}
+	if *pprofAddr != "" {
+		// net/http/pprof and expvar register on the default mux; expose
+		// the live metric dump alongside them.
+		expvar.Publish("subsim_metrics", expvar.Func(func() any {
+			return tr.Report()
+		}))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			tr.Metrics().WritePrometheus(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "imrun: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "imrun: pprof/expvar on %s (/debug/pprof, /debug/vars, /metrics)\n", *pprofAddr)
+	}
+
 	var res *subsim.Result
 	if *lt {
 		g.AssignLT()
@@ -78,33 +141,104 @@ func main() {
 		os.Exit(1)
 	}
 
+	var spread *float64
+	if *mc > 0 {
+		model := subsim.IC
+		if *lt {
+			model = subsim.LT
+		}
+		s := subsim.EstimateInfluence(g, res.Seeds, *mc, model, *seed)
+		spread = &s
+	}
+
+	if *jsonOut {
+		doc := jsonOutput{Algorithm: alg.String(), K: *k, Eps: *eps, Seed: *seed, Result: res}
+		doc.Graph.Path = *graphPath
+		doc.Graph.N = g.N()
+		doc.Graph.M = g.M()
+		doc.Graph.Model = g.Model().String()
+		if spread != nil {
+			doc.MCSpread = spread
+			doc.MCSamples = *mc
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "imrun: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		printHuman(g, alg, res, *k, *eps, spread, *mc)
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imrun: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.Report.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "imrun: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "imrun: %v\n", err)
+			os.Exit(1)
+		}
+		if !*jsonOut {
+			fmt.Printf("wrote trace %s\n", *tracePath)
+		}
+	}
+	if *metrics {
+		if err := tr.Metrics().WritePrometheus(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "imrun: %v\n", err)
+		}
+	}
+
+	if *out != "" {
+		if err := seedio.WriteFile(*out, res.Seeds); err != nil {
+			fmt.Fprintf(os.Stderr, "imrun: %v\n", err)
+			os.Exit(1)
+		}
+		if !*jsonOut {
+			fmt.Printf("wrote %s\n", *out)
+		}
+	}
+}
+
+func printHuman(g *subsim.Graph, alg subsim.Algorithm, res *subsim.Result, k int, eps float64, spread *float64, mc int) {
 	fmt.Printf("graph: n=%d m=%d model=%s\n", g.N(), g.M(), g.Model())
-	fmt.Printf("algorithm: %s  k=%d  eps=%g\n", alg, *k, *eps)
+	fmt.Printf("algorithm: %s  k=%d  eps=%g\n", alg, k, eps)
 	fmt.Printf("elapsed: %v  rounds=%d\n", res.Elapsed, res.Rounds)
-	fmt.Printf("rr sets: %d (avg size %.1f, %d edge examinations)\n",
+	fmt.Printf("rr sets: %d (avg size %.1f, %d edge examinations",
 		res.RRStats.Sets, res.RRStats.AvgSize(), res.RRStats.EdgesExamined)
+	if res.RRStats.SentinelHits > 0 {
+		fmt.Printf(", %d sentinel hits", res.RRStats.SentinelHits)
+	}
+	fmt.Println(")")
 	if res.SentinelSize > 0 {
 		fmt.Printf("sentinels: %d nodes, %d sentinel-phase RR sets\n", res.SentinelSize, res.SentinelRR)
+	}
+	// Phase timings from the span tree, aggregated by span name in
+	// first-seen order ("where did the time go").
+	if aggs := res.Report.AggregateSpans(); len(aggs) > 0 {
+		fmt.Printf("phases:")
+		for _, a := range aggs {
+			if a.Count > 1 {
+				fmt.Printf("  %s %v (x%d)", a.Name, a.Total().Round(10e3), a.Count)
+			} else {
+				fmt.Printf("  %s %v", a.Name, a.Total().Round(10e3))
+			}
+		}
+		fmt.Println()
 	}
 	fmt.Printf("influence estimate: %.1f", res.Influence)
 	if res.UpperBound > 0 {
 		fmt.Printf("  certified: [%.1f, %.1f] (ratio %.3f)", res.LowerBound, res.UpperBound, res.Approx)
 	}
 	fmt.Println()
-	if *mc > 0 {
-		model := subsim.IC
-		if *lt {
-			model = subsim.LT
-		}
-		spread := subsim.EstimateInfluence(g, res.Seeds, *mc, model, *seed)
-		fmt.Printf("forward MC spread (%d samples): %.1f\n", *mc, spread)
+	if spread != nil {
+		fmt.Printf("forward MC spread (%d samples): %.1f\n", mc, *spread)
 	}
 	fmt.Printf("seeds: %v\n", res.Seeds)
-	if *out != "" {
-		if err := seedio.WriteFile(*out, res.Seeds); err != nil {
-			fmt.Fprintf(os.Stderr, "imrun: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *out)
-	}
 }

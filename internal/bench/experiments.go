@@ -9,6 +9,7 @@ import (
 	"subsim/internal/diffusion"
 	"subsim/internal/graph"
 	"subsim/internal/im"
+	"subsim/internal/obs"
 	"subsim/internal/rng"
 	"subsim/internal/rrset"
 )
@@ -48,6 +49,10 @@ type Config struct {
 	MCSamples int
 	// Datasets overrides the default registry when non-nil.
 	Datasets []Dataset
+	// Tracer, when non-nil, receives one span per experiment cell plus
+	// the per-algorithm phase spans and RR metrics of every run it times.
+	// Nil disables all instrumentation at zero cost.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns a full-reproduction configuration at laptop
@@ -93,7 +98,7 @@ func (c *Config) datasets() []Dataset {
 }
 
 func (c *Config) options(k int) im.Options {
-	return im.Options{K: k, Eps: c.Eps, Delta: c.Delta, Seed: c.Seed, Workers: c.Workers}
+	return im.Options{K: k, Eps: c.Eps, Delta: c.Delta, Seed: c.Seed, Workers: c.Workers, Tracer: c.Tracer}
 }
 
 // highTarget caps the θ₄ₖ-style calibration target so it stays a feasible

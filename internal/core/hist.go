@@ -12,6 +12,7 @@ import (
 	"subsim/internal/coverage"
 	"subsim/internal/graph"
 	"subsim/internal/im"
+	"subsim/internal/obs"
 	"subsim/internal/rrset"
 )
 
@@ -91,16 +92,39 @@ func HIST(gen rrset.Generator, opt im.Options) (*im.Result, error) {
 	eps1, eps2 := opt.Eps/2, opt.Eps/2
 	delta1, delta2 := opt.Delta/2, opt.Delta/2
 
-	sentinels, p1 := sentinelSet(gen, opt, eps1, delta1)
-	res, err := imSentinel(gen, opt, sentinels, eps2, delta2)
+	tr := opt.Tracer
+	run := tr.Span("hist")
+	phase1 := run.Child("sentinel-phase")
+	sentinels, p1 := sentinelSet(gen, opt, phase1, eps1, delta1)
+	phase1.SetInt("sentinels", int64(len(sentinels))).
+		SetInt("rr_generated", p1.rrGenerated).
+		SetInt("sentinel_hits", p1.stats.SentinelHits).
+		SetInt("rounds", int64(p1.rounds)).
+		End()
+
+	phase2 := run.Child("residual-phase")
+	res, err := imSentinel(gen, opt, phase2, sentinels, eps2, delta2)
 	if err != nil {
+		phase2.End()
+		run.End()
 		return nil, err
 	}
+	// Every residual-phase RR set is sentinel-terminated, so the hit
+	// rate here is exactly the fraction of sets HIST truncated early —
+	// the directly measured form of Figure 3's hit-and-stop saving.
+	if res.RRStats.Sets > 0 {
+		phase2.SetFloat("sentinel_hit_rate",
+			float64(res.RRStats.SentinelHits)/float64(res.RRStats.Sets))
+	}
+	phase2.SetInt("rounds", int64(res.Rounds)).End()
+
 	res.SentinelRR = p1.rrGenerated
 	res.SentinelSize = len(sentinels)
 	res.RRStats.Add(p1.stats)
 	res.Rounds += p1.rounds
+	run.SetInt("rounds", int64(res.Rounds)).End()
 	res.Elapsed = time.Since(start)
+	res.Report = tr.Report()
 	return res, nil
 }
 
@@ -114,7 +138,7 @@ type phase1Report struct {
 // sentinelSet is Algorithm 7. It returns the sentinel nodes S_b* (in
 // greedy order) such that, with probability at least 1-δ₁,
 // I(S_b*) ≥ (1-(1-1/k)^b-ε₁)·I(S_k°).
-func sentinelSet(gen rrset.Generator, opt im.Options, eps1, delta1 float64) ([]int32, phase1Report) {
+func sentinelSet(gen rrset.Generator, opt im.Options, phase *obs.Span, eps1, delta1 float64) ([]int32, phase1Report) {
 	g := gen.Graph()
 	n := g.N()
 	k := opt.K
@@ -125,19 +149,25 @@ func sentinelSet(gen rrset.Generator, opt im.Options, eps1, delta1 float64) ([]i
 	deltaU := delta1 / (3 * float64(iMax))
 	deltaL := delta1 / (6 * float64(iMax))
 
-	b1 := im.NewBatcher(gen, opt.Seed, opt.Workers)
+	b1 := im.NewInstrumentedBatcher(gen, opt.Seed, opt.Workers, opt.Tracer.Metrics())
 	outDeg := outDegrees(g)
 	idx1 := coverage.NewIndex(n, outDeg)
 
 	rep := phase1Report{}
 	theta := theta0
+	sp := phase.Child("sampling")
 	b1.FillIndex(idx1, int(theta), nil)
+	sp.SetInt("theta", theta).End()
 
 	var sb []int32
 	for i := 1; ; i++ {
 		rep.rounds = i
+		rs := phase.Child(obs.Round(i))
 		theta1 := int64(idx1.NumSets())
+		ss := rs.Child("selection")
 		sel := idx1.SelectSeeds(coverage.GreedyOptions{K: k, Revised: true})
+		ss.End()
+		bc := rs.Child("bound-check")
 		upper := bounds.UpperBound(sel.CoverageUpper, theta1, n, deltaU)
 
 		// Pick the largest prefix size b whose *estimated* lower bound
@@ -150,11 +180,14 @@ func sentinelSet(gen rrset.Generator, opt im.Options, eps1, delta1 float64) ([]i
 				break
 			}
 		}
+		bc.End()
+		rs.SetInt("theta", theta1).SetInt("prefix", int64(b))
 		if b == 0 && i >= iMax {
 			// Budget exhausted with no verified prefix: θ_max samples
 			// make the full greedy set qualified by Lemma 6, so return
 			// it (the second phase then has nothing left to select).
 			sb = sel.Seeds
+			rs.End()
 			break
 		}
 		if b > 0 {
@@ -163,12 +196,15 @@ func sentinelSet(gen rrset.Generator, opt im.Options, eps1, delta1 float64) ([]i
 			// Verify on an independent sentinel-terminated collection:
 			// an RR set is covered by S_b* exactly when it stopped on a
 			// sentinel, so only the hit count matters.
+			vs := rs.Child("verify")
 			theta2 := theta1
 			hits := countHits(b1, int(theta2), sentinel)
 			rep.rrGenerated += theta2
 			lower := bounds.LowerBound(hits, theta2, n, deltaL)
 			target := bounds.ApproxFactor(k, b, eps1)
 			if lower/upper > target {
+				vs.SetInt("hits", hits).SetInt("drawn", theta2).End()
+				rs.End()
 				break
 			}
 			// Tighten once by growing R₂ to 4|R₁| (Algorithm 7 lines
@@ -177,15 +213,21 @@ func sentinelSet(gen rrset.Generator, opt im.Options, eps1, delta1 float64) ([]i
 			hits += countHits(b1, int(extra), sentinel)
 			rep.rrGenerated += extra
 			lower = bounds.LowerBound(hits, theta2+extra, n, deltaL)
+			vs.SetInt("hits", hits).SetInt("drawn", theta2+extra).End()
 			if lower/upper > target {
+				rs.End()
 				break
 			}
 			if i >= iMax {
+				rs.End()
 				break
 			}
 		}
 		// Double R₁ and retry.
+		sp := rs.Child("sampling")
 		b1.FillIndex(idx1, int(theta), nil)
+		sp.SetInt("theta", theta).End()
+		rs.End()
 		theta *= 2
 	}
 	rep.rrGenerated += int64(idx1.NumSets())
@@ -195,7 +237,7 @@ func sentinelSet(gen rrset.Generator, opt im.Options, eps1, delta1 float64) ([]i
 
 // imSentinel is Algorithm 8: select the remaining k-b seeds over
 // sentinel-terminated RR collections.
-func imSentinel(gen rrset.Generator, opt im.Options, sb []int32, eps2, delta2 float64) (*im.Result, error) {
+func imSentinel(gen rrset.Generator, opt im.Options, phase *obs.Span, sb []int32, eps2, delta2 float64) (*im.Result, error) {
 	g := gen.Graph()
 	n := g.N()
 	k := opt.K
@@ -208,7 +250,7 @@ func imSentinel(gen rrset.Generator, opt im.Options, sb []int32, eps2, delta2 fl
 	deltaIter := delta2 / (3 * float64(iMax))
 	target := bounds.GreedyFactor(opt.Eps)
 
-	batch := im.NewBatcher(gen, opt.Seed+1, opt.Workers)
+	batch := im.NewInstrumentedBatcher(gen, opt.Seed+1, opt.Workers, opt.Tracer.Metrics())
 	outDeg := outDegrees(g)
 	idx1 := coverage.NewIndex(n, outDeg)
 	idx2 := coverage.NewIndex(n, outDeg)
@@ -217,17 +259,23 @@ func imSentinel(gen rrset.Generator, opt im.Options, sb []int32, eps2, delta2 fl
 	var hits1, hits2 int64
 	var theta1, theta2 int64
 	theta := theta0
+	sp := phase.Child("sampling")
 	hits1 += batch.FillIndex(idx1, int(theta), sentinel)
 	hits2 += batch.FillIndex(idx2, int(theta), sentinel)
+	sp.SetInt("theta", theta).End()
 	theta1, theta2 = theta, theta
 
 	for i := 1; ; i++ {
 		res.Rounds = i
+		rs := phase.Child(obs.Round(i))
+		ss := rs.Child("selection")
 		sel := idx1.SelectSeeds(coverage.GreedyOptions{
 			K: k - b, Revised: true, Base: hits1, TopL: k, Exclude: sentinel,
 		})
+		ss.End()
 		seeds := append(append(make([]int32, 0, k), sb...), sel.Seeds...)
 		res.Seeds = seeds
+		bc := rs.Child("bound-check")
 		res.UpperBound = bounds.UpperBound(sel.CoverageUpper, theta1, n, deltaIter)
 		cov2 := hits2 + idx2.CoverageOf(sel.Seeds)
 		res.LowerBound = bounds.LowerBound(cov2, theta2, n, deltaIter)
@@ -235,11 +283,17 @@ func imSentinel(gen rrset.Generator, opt im.Options, sb []int32, eps2, delta2 fl
 		if res.UpperBound > 0 {
 			res.Approx = res.LowerBound / res.UpperBound
 		}
+		bc.End()
+		rs.SetInt("theta", theta1).SetFloat("approx", res.Approx)
 		if res.Approx > target || i >= iMax {
+			rs.End()
 			break
 		}
+		sp := rs.Child("sampling")
 		hits1 += batch.FillIndex(idx1, int(theta), sentinel)
 		hits2 += batch.FillIndex(idx2, int(theta), sentinel)
+		sp.SetInt("theta", theta).End()
+		rs.End()
 		theta1 += theta
 		theta2 += theta
 		theta *= 2

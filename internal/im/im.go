@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"subsim/internal/coverage"
+	"subsim/internal/obs"
 	"subsim/internal/rng"
 	"subsim/internal/rrset"
 )
@@ -30,8 +31,9 @@ type Options struct {
 	Eps float64
 	// Delta is the failure probability; 0 defaults to 1/n.
 	Delta float64
-	// Seed seeds all randomness; a fixed Seed (with fixed Workers)
-	// reproduces a run exactly.
+	// Seed seeds all randomness; a fixed Seed reproduces a run exactly,
+	// independent of Workers (every RR set draws from an RNG stream
+	// derived from its global index, see Batcher).
 	Seed uint64
 	// Workers bounds the RR-generation parallelism; 0 defaults to
 	// GOMAXPROCS.
@@ -40,6 +42,11 @@ type Options struct {
 	// selection. The baselines default to the classic greedy; HIST
 	// always enables it.
 	Revised bool
+	// Tracer receives phase spans (per doubling round: sampling,
+	// selection, bound-check) and low-overhead RR metrics, and produces
+	// Result.Report. Nil disables all instrumentation at zero cost —
+	// see the obs package's nil-tracer contract.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) Normalize(n int) error {
@@ -90,14 +97,23 @@ type Result struct {
 	SentinelSize int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// Report is the machine-readable observability report (span tree,
+	// histograms, counters) when Options.Tracer was set; nil otherwise.
+	Report *obs.Report `json:",omitempty"`
 }
 
 // Batcher generates RR sets in parallel with deterministic output for a
-// fixed seed and worker count: worker w always consumes the w-th split
-// RNG stream and its sets are appended in worker order.
+// fixed seed *independent of the worker count*: the i-th set ever drawn
+// through the batcher comes from an RNG stream derived from (seed, i),
+// so workers=1 and workers=8 produce identical sets, identical merged
+// generator stats, and therefore identical algorithm results. Workers
+// only decide how the per-index streams are partitioned.
 type Batcher struct {
 	gens []rrset.Generator
-	srcs []*rng.Source
+	srcs []*rng.Source // one reusable Source per worker, reseeded per set
+	base []rrset.Stats // per-worker counters at construction; Stats() reports deltas
+	seed uint64
+	next int64 // global index of the next set to generate
 }
 
 // NewBatcher builds a parallel generation front-end over gen. The
@@ -110,30 +126,61 @@ func NewBatcher(gen rrset.Generator, seed uint64, workers int) *Batcher {
 	b := &Batcher{
 		gens: make([]rrset.Generator, workers),
 		srcs: make([]*rng.Source, workers),
+		base: make([]rrset.Stats, workers),
+		seed: seed,
 	}
-	base := rng.New(seed)
 	for w := 0; w < workers; w++ {
 		if w == 0 {
 			b.gens[w] = gen
 		} else {
 			b.gens[w] = gen.Clone()
 		}
-		b.srcs[w] = base.Split()
+		b.base[w] = b.gens[w].Stats()
+		b.srcs[w] = rng.New(seed)
 	}
 	return b
 }
 
+// NewInstrumentedBatcher is NewBatcher with every worker generator
+// wrapped by rrset.Instrument against m, including a per-worker
+// sets-generated counter. A nil m yields a plain, unwrapped batcher —
+// the zero-overhead disabled path.
+func NewInstrumentedBatcher(gen rrset.Generator, seed uint64, workers int, m *obs.MetricSet) *Batcher {
+	b := NewBatcher(gen, seed, workers)
+	if m == nil {
+		return b
+	}
+	for w := range b.gens {
+		b.gens[w] = rrset.Instrument(b.gens[w], m, m.WorkerSets(w))
+	}
+	return b
+}
+
+// setSeed derives the RNG seed of the set with global index idx from the
+// batcher seed, splitmix-style, so per-index streams are decorrelated
+// and two batchers with nearby seeds (HIST uses seed and seed+1) do not
+// collide.
+func setSeed(base uint64, idx int64) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Generate produces count random RR sets (uniform roots), stopping each
 // traversal at sentinel nodes when sentinel is non-nil, and returns them
-// in deterministic order.
+// in deterministic global-index order regardless of the worker count.
 func (b *Batcher) Generate(count int, sentinel []bool) []rrset.RRSet {
 	if count <= 0 {
 		return nil
 	}
+	first := b.next
+	b.next += int64(count)
 	workers := len(b.gens)
 	if count < 4*workers || workers == 1 {
 		out := make([]rrset.RRSet, 0, count)
 		for i := 0; i < count; i++ {
+			b.srcs[0].Seed(setSeed(b.seed, first+int64(i)))
 			out = append(out, rrset.GenerateRandom(b.gens[0], b.srcs[0], sentinel))
 		}
 		return out
@@ -142,20 +189,23 @@ func (b *Batcher) Generate(count int, sentinel []bool) []rrset.RRSet {
 	per := count / workers
 	extra := count % workers
 	var wg sync.WaitGroup
+	offset := int64(0)
 	for w := 0; w < workers; w++ {
 		cnt := per
 		if w < extra {
 			cnt++
 		}
 		wg.Add(1)
-		go func(w, cnt int) {
+		go func(w, cnt int, start int64) {
 			defer wg.Done()
 			part := make([]rrset.RRSet, 0, cnt)
 			for i := 0; i < cnt; i++ {
+				b.srcs[w].Seed(setSeed(b.seed, start+int64(i)))
 				part = append(part, rrset.GenerateRandom(b.gens[w], b.srcs[w], sentinel))
 			}
 			parts[w] = part
-		}(w, cnt)
+		}(w, cnt, first+offset)
+		offset += int64(cnt)
 	}
 	wg.Wait()
 	out := make([]rrset.RRSet, 0, count)
@@ -165,19 +215,26 @@ func (b *Batcher) Generate(count int, sentinel []bool) []rrset.RRSet {
 	return out
 }
 
-// Stats sums the generation counters across all workers.
+// Stats sums the generation counters across all workers, relative to
+// the counters each generator carried when the batcher was built. The
+// baseline matters when two batchers share a generator instance — HIST's
+// two phases both build a batcher over the caller's generator, and the
+// delta semantics keep each phase's accounting disjoint instead of
+// double-counting worker 0.
 func (b *Batcher) Stats() rrset.Stats {
 	var s rrset.Stats
-	for _, g := range b.gens {
+	for w, g := range b.gens {
 		s.Add(g.Stats())
+		s.Sub(b.base[w])
 	}
 	return s
 }
 
-// ResetStats zeroes the counters on all workers.
+// ResetStats zeroes the counters on all workers and the baseline.
 func (b *Batcher) ResetStats() {
-	for _, g := range b.gens {
+	for w, g := range b.gens {
 		g.ResetStats()
+		b.base[w] = rrset.Stats{}
 	}
 }
 

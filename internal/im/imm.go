@@ -6,6 +6,7 @@ import (
 
 	"subsim/internal/bounds"
 	"subsim/internal/coverage"
+	"subsim/internal/obs"
 	"subsim/internal/rrset"
 )
 
@@ -36,7 +37,9 @@ func IMM(gen rrset.Generator, opt Options) (*Result, error) {
 	l = l * (1 + math.Ln2/logn)
 	epsPrime := math.Sqrt2 * opt.Eps
 
-	b := NewBatcher(gen, opt.Seed, opt.Workers)
+	tr := opt.Tracer
+	run := tr.Span("imm")
+	b := NewInstrumentedBatcher(gen, opt.Seed, opt.Workers, tr.Metrics())
 	var outDeg []int32
 	if opt.Revised {
 		outDeg = outDegrees(gen)
@@ -50,29 +53,45 @@ func IMM(gen rrset.Generator, opt Options) (*Result, error) {
 	if maxI < 1 {
 		maxI = 1
 	}
+	est1 := run.Child("opt-estimation")
 	for i := 1; i < maxI; i++ {
 		res.Rounds = i
+		rs := est1.Child(obs.Round(i))
 		x := float64(n) / math.Pow(2, float64(i))
 		thetaI := int64(math.Ceil(lambdaPrime / x))
 		if add := thetaI - int64(idx.NumSets()); add > 0 {
+			sp := rs.Child("sampling")
 			b.FillIndex(idx, int(add), nil)
+			sp.SetInt("theta", add).End()
 		}
+		ss := rs.Child("selection")
 		sel := idx.SelectSeeds(coverage.GreedyOptions{K: opt.K, Revised: opt.Revised})
+		ss.End()
 		est := float64(n) * float64(sel.TotalCoverage(0)) / float64(idx.NumSets())
+		rs.SetInt("theta", int64(idx.NumSets())).SetFloat("estimate", est).End()
 		if est >= (1+epsPrime)*x {
 			lb = est / (1 + epsPrime)
 			break
 		}
 	}
+	est1.SetFloat("opt_lower_bound", lb).End()
 
+	ns := run.Child("node-selection")
 	theta := bounds.IMMTheta(n, opt.K, opt.Eps, l, lb)
 	if add := theta - int64(idx.NumSets()); add > 0 {
+		sp := ns.Child("sampling")
 		b.FillIndex(idx, int(add), nil)
+		sp.SetInt("theta", add).End()
 	}
+	ss := ns.Child("selection")
 	sel := idx.SelectSeeds(coverage.GreedyOptions{K: opt.K, Revised: opt.Revised})
+	ss.End()
+	ns.SetInt("theta", int64(idx.NumSets())).End()
 	res.Seeds = sel.Seeds
 	res.Influence = float64(n) * float64(sel.TotalCoverage(0)) / float64(idx.NumSets())
 	res.RRStats = b.Stats()
+	run.SetInt("rounds", int64(res.Rounds)).End()
 	res.Elapsed = time.Since(start)
+	res.Report = tr.Report()
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"subsim/internal/bounds"
 	"subsim/internal/coverage"
+	"subsim/internal/obs"
 	"subsim/internal/rrset"
 )
 
@@ -31,7 +32,9 @@ func OPIMC(gen rrset.Generator, opt Options) (*Result, error) {
 	deltaIter := opt.Delta / (3 * float64(iMax))
 	target := bounds.GreedyFactor(opt.Eps)
 
-	b := NewBatcher(gen, opt.Seed, opt.Workers)
+	tr := opt.Tracer
+	run := tr.Span("opimc")
+	b := NewInstrumentedBatcher(gen, opt.Seed, opt.Workers, tr.Metrics())
 	var outDeg []int32
 	if opt.Revised {
 		outDeg = outDegrees(gen)
@@ -41,13 +44,19 @@ func OPIMC(gen rrset.Generator, opt Options) (*Result, error) {
 
 	res := &Result{}
 	theta := theta0
+	sp := run.Child("sampling")
 	b.FillIndex(idx1, int(theta), nil)
 	b.FillIndex(idx2, int(theta), nil)
+	sp.SetInt("theta", theta).End()
 
 	for i := 1; ; i++ {
 		res.Rounds = i
+		rs := run.Child(obs.Round(i))
+		ss := rs.Child("selection")
 		sel := idx1.SelectSeeds(coverage.GreedyOptions{K: opt.K, Revised: opt.Revised})
+		ss.End()
 		res.Seeds = sel.Seeds
+		bc := rs.Child("bound-check")
 		res.UpperBound = bounds.UpperBound(sel.CoverageUpper, int64(idx1.NumSets()), n, deltaIter)
 		cov2 := idx2.CoverageOf(sel.Seeds)
 		res.LowerBound = bounds.LowerBound(cov2, int64(idx2.NumSets()), n, deltaIter)
@@ -55,14 +64,22 @@ func OPIMC(gen rrset.Generator, opt Options) (*Result, error) {
 		if res.UpperBound > 0 {
 			res.Approx = res.LowerBound / res.UpperBound
 		}
+		bc.End()
+		rs.SetInt("theta", int64(idx1.NumSets())).SetFloat("approx", res.Approx)
 		if res.Approx > target || i >= iMax {
+			rs.End()
 			break
 		}
+		sp := rs.Child("sampling")
 		b.FillIndex(idx1, int(theta), nil)
 		b.FillIndex(idx2, int(theta), nil)
+		sp.SetInt("theta", theta).End()
+		rs.End()
 		theta *= 2
 	}
 	res.RRStats = b.Stats()
+	run.SetInt("rounds", int64(res.Rounds)).End()
 	res.Elapsed = time.Since(start)
+	res.Report = tr.Report()
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"subsim/internal/bounds"
 	"subsim/internal/coverage"
+	"subsim/internal/obs"
 	"subsim/internal/rrset"
 )
 
@@ -49,7 +50,9 @@ func SSA(gen rrset.Generator, opt Options) (*Result, error) {
 	// Υ: stopping-rule target count for the verification estimator.
 	upsilon := int64(math.Ceil(1 + (1+eps2)*(2+2*eps2/3)*math.Log(2/deltaIter)/(eps2*eps2)))
 
-	b := NewBatcher(gen, opt.Seed, opt.Workers)
+	tr := opt.Tracer
+	run := tr.Span("ssa")
+	b := NewInstrumentedBatcher(gen, opt.Seed, opt.Workers, tr.Metrics())
 	var outDeg []int32
 	if opt.Revised {
 		outDeg = outDegrees(gen)
@@ -60,32 +63,45 @@ func SSA(gen rrset.Generator, opt Options) (*Result, error) {
 	theta := lambda
 	for t := 1; ; t++ {
 		res.Rounds = t
+		rs := run.Child(obs.Round(t))
 		if add := theta - int64(idx.NumSets()); add > 0 {
+			sp := rs.Child("sampling")
 			b.FillIndex(idx, int(add), nil)
+			sp.SetInt("theta", add).End()
 		}
+		ss := rs.Child("selection")
 		sel := idx.SelectSeeds(coverage.GreedyOptions{K: opt.K, Revised: opt.Revised})
+		ss.End()
 		res.Seeds = sel.Seeds
 		covEst := float64(n) * float64(sel.TotalCoverage(0)) / float64(idx.NumSets())
 		res.Influence = covEst
+		rs.SetInt("theta", int64(idx.NumSets()))
 
 		if t >= tMax {
+			rs.End()
 			break
 		}
 
 		// Stare: verify on an independent stream until Υ covers or the
 		// budget (twice the selection collection) is exhausted.
+		vs := rs.Child("verify")
 		verified, used := b.verify(res.Seeds, upsilon, 2*theta)
+		vs.SetInt("covered", verified).SetInt("used", used).End()
 		if used > 0 {
 			est := float64(verified) * float64(n) / float64(used)
 			res.LowerBound = bounds.LowerBound(verified, used, n, deltaIter)
 			if verified >= upsilon && est >= covEst/(1+eps1) {
+				rs.End()
 				break
 			}
 		}
+		rs.End()
 		theta *= 2
 	}
 	res.RRStats = b.Stats()
+	run.SetInt("rounds", int64(res.Rounds)).End()
 	res.Elapsed = time.Since(start)
+	res.Report = tr.Report()
 	return res, nil
 }
 

@@ -34,7 +34,9 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 	logn := math.Log(float64(n))
 	l := math.Max(1, -math.Log(opt.Delta)/logn)
 
-	b := NewBatcher(gen, opt.Seed, opt.Workers)
+	tr := opt.Tracer
+	run := tr.Span("timplus")
+	b := NewInstrumentedBatcher(gen, opt.Seed, opt.Workers, tr.Metrics())
 	var outDeg []int32
 	if opt.Revised {
 		outDeg = outDegrees(gen)
@@ -60,6 +62,7 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 	baseCount := int64(math.Ceil((6*l*logn + 6*math.Ln2)))
 	var kappaSum float64
 	measured := 0
+	kptSpan := run.Child("kpt-estimation")
 	for i := 1; i <= maxI; i++ {
 		res.Rounds = i
 		want := baseCount << uint(i)
@@ -88,8 +91,11 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 		}
 	}
 
+	kptSpan.SetFloat("kpt", kpt).SetInt("rounds", int64(res.Rounds)).End()
+
 	// Refinement: the greedy seed set's de-biased coverage over a fresh
 	// collection sharpens KPT.
+	refine := run.Child("refinement")
 	selPrev := idx.SelectSeeds(coverage.GreedyOptions{K: opt.K, Revised: opt.Revised})
 	epsPrime := 5 * math.Cbrt(l*opt.Eps*opt.Eps/(l+float64(opt.K)/math.Max(1, logn)))
 	if epsPrime > 1 {
@@ -106,8 +112,10 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 	if kptPrime > kpt {
 		kpt = kptPrime
 	}
+	refine.SetFloat("kpt", kpt).End()
 
 	// Final sampling and selection.
+	ns := run.Child("node-selection")
 	lambda := (8 + 2*opt.Eps) * float64(n) *
 		(l*logn + bounds.LogChoose(n, opt.K) + math.Ln2) / (opt.Eps * opt.Eps)
 	theta := int64(math.Ceil(lambda / kpt))
@@ -115,9 +123,12 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 		b.FillIndex(idx, int(add), nil)
 	}
 	sel := idx.SelectSeeds(coverage.GreedyOptions{K: opt.K, Revised: opt.Revised})
+	ns.SetInt("theta", int64(idx.NumSets())).End()
 	res.Seeds = sel.Seeds
 	res.Influence = float64(n) * float64(sel.TotalCoverage(0)) / float64(idx.NumSets())
 	res.RRStats = b.Stats()
+	run.SetInt("rounds", int64(res.Rounds)).End()
 	res.Elapsed = time.Since(start)
+	res.Report = tr.Report()
 	return res, nil
 }

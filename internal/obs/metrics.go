@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// nil-safe no-ops so disabled instrumentation threads through for free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value (0 for a nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// NumBuckets is the fixed bucket count of Histogram: bucket 0 holds
+// values <= 0, bucket i (1 <= i < NumBuckets-1) holds values in
+// [2^(i-1), 2^i), and the last bucket absorbs everything from
+// 2^(NumBuckets-2) upward.
+const NumBuckets = 40
+
+// Histogram is a fixed-bucket power-of-two histogram. Observe costs one
+// bits.Len plus three uncontended atomic adds, cheap enough for the RR
+// generation hot path. The zero value is ready to use; a nil *Histogram
+// is a no-op.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// bucketIndex maps a value to its bucket: 0 for v <= 0, bits.Len64(v)
+// (i.e. [2^(i-1), 2^i) -> i) clamped to the overflow bucket otherwise.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i > NumBuckets-1 {
+		i = NumBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i: 0 for
+// bucket 0, 2^i-1 for the middle buckets, and +Inf (represented as -1)
+// for the overflow bucket. Exported for exporters and tests.
+func BucketUpper(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= NumBuckets-1:
+		return -1 // +Inf
+	default:
+		return int64(1)<<uint(i) - 1
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket returns the count of bucket i (0 when out of range or nil).
+func (h *Histogram) Bucket(i int) int64 {
+	if h == nil || i < 0 || i >= NumBuckets {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// Mean returns the average observed value, or 0 before any observation.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot. Le is the
+// inclusive upper bound of the bucket; -1 encodes +Inf (the overflow
+// bucket).
+type BucketCount struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram with only its
+// non-empty buckets, suitable for JSON reports.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram. The result of a concurrent snapshot is
+// a consistent-enough view for reporting (buckets are read one by one).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := 0; i < NumBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Le: BucketUpper(i), Count: n})
+		}
+	}
+	return s
+}
+
+// MetricSet bundles the well-known RR-generation instruments. All
+// instruments are concurrency-safe; the set is shared by every worker of
+// a run. Access the fields directly from instrumented code (after a
+// single nil check on the set), or via the nil-safe accessors.
+type MetricSet struct {
+	// RRSize observes the node count of every generated RR set
+	// (Figure 3b's average RR size is RRSize.Mean()).
+	RRSize Histogram
+	// EdgesPerSet observes the edge examinations of every generated RR
+	// set (the Lemma 4 cost measure, per set).
+	EdgesPerSet Histogram
+	// SkipLen observes individual geometric-skip lengths drawn by the
+	// SUBSIM samplers.
+	SkipLen Histogram
+	// Sets, Nodes and Edges are running totals across all workers.
+	Sets  Counter
+	Nodes Counter
+	Edges Counter
+	// SentinelHits counts RR sets truncated by a sentinel node.
+	SentinelHits Counter
+
+	mu      sync.Mutex
+	workers []*Counter
+}
+
+// NewMetricSet returns an empty, enabled metric set.
+func NewMetricSet() *MetricSet { return &MetricSet{} }
+
+// WorkerSets returns the sets-generated counter of worker w, growing the
+// vector as needed. Returns nil (a no-op counter) on a nil set or a
+// negative index.
+func (m *MetricSet) WorkerSets(w int) *Counter {
+	if m == nil || w < 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.workers) <= w {
+		m.workers = append(m.workers, &Counter{})
+	}
+	return m.workers[w]
+}
+
+// WorkerSnapshot returns the per-worker sets-generated totals.
+func (m *MetricSet) WorkerSnapshot() []int64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int64, len(m.workers))
+	for i, c := range m.workers {
+		out[i] = c.Load()
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+// Package obs is the repository's dependency-free observability layer:
+// phase spans, low-overhead metrics, and machine-readable run reports.
+//
+// The paper's headline claims are cost claims — SUBSIM's edge-examination
+// count (Lemma 4) and HIST's average-RR-size reduction (Figure 3b) — so
+// the algorithms need visibility into where time and samples go: per
+// doubling round, per HIST phase, per worker, and per RR set. This
+// package provides three pieces:
+//
+//   - Tracer / Span: nested, timestamped phase spans ("sampling",
+//     "selection", "bound-check", "sentinel-phase", "residual-phase",
+//     one span per doubling round) with attached key/value attributes.
+//   - MetricSet: atomic counters and fixed-bucket power-of-two
+//     histograms (RR set size, edge examinations per set, geometric-skip
+//     lengths, per-worker sets generated) cheap enough to stay on in the
+//     RR-generation hot path.
+//   - Report: a schema-versioned JSON run report (see report.go) and a
+//     Prometheus-style text dump (see prom.go).
+//
+// # The nil-tracer zero-overhead contract
+//
+// Every method of Tracer, Span, Counter and Histogram is safe to call on
+// a nil receiver and is a no-op there. A nil *Tracer therefore threads
+// through im.Options at zero cost: span creation returns nil without
+// allocating, attribute setters return immediately, and the
+// rrset.Instrument wrapper unwraps to the bare generator when handed a
+// nil MetricSet. Instrumented code never needs an "is tracing enabled?"
+// branch of its own.
+//
+// Tracer and Span creation/attribute methods are intended for the
+// single-goroutine coordinator loop of each algorithm; MetricSet
+// instruments are fully concurrent (atomic) and shared by all workers.
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value attachment on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed phase of a run. Spans nest: obtain children with
+// Child. All methods are nil-safe no-ops, so code instrumented against a
+// nil Tracer pays nothing.
+type Span struct {
+	tracer   *Tracer
+	name     string
+	startNS  int64 // nanos since the tracer epoch
+	endNS    int64 // 0 while the span is open
+	attrs    []Attr
+	children []*Span
+}
+
+// Tracer records a tree of spans plus a MetricSet for one run. Construct
+// with NewTracer; the zero value is not usable, but a nil *Tracer is a
+// valid "tracing disabled" instance for every method.
+type Tracer struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	clock   func() int64 // nanos since epoch; injectable for tests
+	roots   []*Span
+	meta    map[string]any
+	metrics *MetricSet
+}
+
+// NewTracer returns an enabled tracer with a fresh MetricSet.
+func NewTracer() *Tracer {
+	t := &Tracer{
+		epoch:   time.Now(),
+		metrics: NewMetricSet(),
+		meta:    map[string]any{},
+	}
+	t.clock = func() int64 { return int64(time.Since(t.epoch)) }
+	return t
+}
+
+// SetClock replaces the span clock with fn (nanoseconds since the trace
+// epoch). It exists so tests can produce deterministic reports.
+func (t *Tracer) SetClock(fn func() int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = fn
+	t.mu.Unlock()
+}
+
+// Metrics returns the tracer's metric set, or nil for a nil tracer —
+// which in turn disables every instrument handed out downstream.
+func (t *Tracer) Metrics() *MetricSet {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}
+
+// SetMeta attaches a run-level key/value to the report ("algorithm",
+// "graph_n", ...).
+func (t *Tracer) SetMeta(key string, value any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.meta[key] = value
+	t.mu.Unlock()
+}
+
+func (t *Tracer) now() int64 {
+	t.mu.Lock()
+	fn := t.clock
+	t.mu.Unlock()
+	return fn()
+}
+
+// Span opens a new root-level span. End it with Span.End. Returns nil
+// (allocation-free) on a nil tracer.
+func (t *Tracer) Span(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, name: name, startNS: t.now()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Child opens a nested span under s. Returns nil on a nil span, so
+// chains rooted in a nil tracer stay allocation-free.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tracer: s.tracer, name: name, startNS: s.tracer.now()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End closes the span. Ending an already-ended span keeps the first end
+// time. Spans still open when the report is built are closed at report
+// time.
+func (s *Span) End() {
+	if s == nil || s.endNS != 0 {
+		return
+	}
+	s.endNS = s.tracer.now()
+}
+
+// SetAttr attaches a key/value to the span and returns s for chaining.
+func (s *Span) SetAttr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// SetInt attaches an integer attribute. The argument is a plain int64 so
+// the call is allocation-free on a nil span.
+func (s *Span) SetInt(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.SetAttr(key, v)
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.SetAttr(key, v)
+}
+
+// roundNames caches the common doubling-round span names so per-round
+// instrumentation allocates nothing even when tracing is on.
+var roundNames = func() [64]string {
+	var a [64]string
+	for i := range a {
+		a[i] = "round-" + strconv.Itoa(i)
+	}
+	return a
+}()
+
+// Round returns the canonical span name for doubling round i
+// ("round-1", "round-2", ...), allocation-free for i < 64.
+func Round(i int) string {
+	if i >= 0 && i < len(roundNames) {
+		return roundNames[i]
+	}
+	return "round-" + strconv.Itoa(i)
+}

@@ -1,0 +1,164 @@
+package obs
+
+import "testing"
+
+// fakeClock returns a clock that advances by step on every reading,
+// starting at start.
+func fakeClock(start, step int64) func() int64 {
+	t := start - step
+	return func() int64 {
+		t += step
+		return t
+	}
+}
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := NewTracer()
+	tr.SetClock(fakeClock(0, 10))
+
+	run := tr.Span("run") // t=0
+	s1 := run.Child("sampling")
+	s1.End()
+	sel := run.Child("selection")
+	inner := sel.Child("bound-check")
+	inner.End()
+	sel.End()
+	run.End()
+	other := tr.Span("other")
+	other.End()
+
+	rep := tr.Report()
+	if len(rep.Spans) != 2 {
+		t.Fatalf("got %d root spans, want 2", len(rep.Spans))
+	}
+	if rep.Spans[0].Name != "run" || rep.Spans[1].Name != "other" {
+		t.Fatalf("root order = %q, %q; want run, other", rep.Spans[0].Name, rep.Spans[1].Name)
+	}
+	root := rep.Spans[0]
+	if len(root.Children) != 2 {
+		t.Fatalf("run has %d children, want 2", len(root.Children))
+	}
+	if root.Children[0].Name != "sampling" || root.Children[1].Name != "selection" {
+		t.Fatalf("child order = %q, %q", root.Children[0].Name, root.Children[1].Name)
+	}
+	if bc := root.Find("bound-check"); bc == nil {
+		t.Fatal("bound-check span not found under run")
+	}
+	// With a step-10 clock every span start strictly precedes its
+	// children's starts and every duration is positive.
+	var walk func(s *SpanSnapshot)
+	walk = func(s *SpanSnapshot) {
+		if s.DurationNS <= 0 {
+			t.Errorf("span %s: duration %d, want > 0", s.Name, s.DurationNS)
+		}
+		for _, c := range s.Children {
+			if c.StartNS <= s.StartNS {
+				t.Errorf("child %s starts at %d, not after parent %s at %d",
+					c.Name, c.StartNS, s.Name, s.StartNS)
+			}
+			walk(c)
+		}
+	}
+	for _, s := range rep.Spans {
+		walk(s)
+	}
+}
+
+func TestSpanAttrs(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Span("x").SetInt("theta", 1024).SetFloat("approx", 0.66).SetAttr("note", "hi")
+	s.End()
+	snap := tr.Report().Span("x")
+	if snap == nil {
+		t.Fatal("span x missing from report")
+	}
+	if got := snap.Attrs["theta"]; got != int64(1024) {
+		t.Errorf("theta = %v (%T), want int64 1024", got, got)
+	}
+	if got := snap.Attrs["approx"]; got != 0.66 {
+		t.Errorf("approx = %v, want 0.66", got)
+	}
+	if got := snap.Attrs["note"]; got != "hi" {
+		t.Errorf("note = %v, want hi", got)
+	}
+}
+
+func TestReportClosesOpenSpans(t *testing.T) {
+	tr := NewTracer()
+	tr.SetClock(fakeClock(0, 5))
+	s := tr.Span("open")
+	_ = s.Child("inner") // never ended
+	rep := tr.Report()
+	snap := rep.Span("open")
+	if snap.DurationNS <= 0 {
+		t.Errorf("open span duration %d, want > 0 (closed at report time)", snap.DurationNS)
+	}
+	if in := rep.Span("inner"); in == nil || in.DurationNS < 0 {
+		t.Errorf("inner span not closed cleanly: %+v", in)
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := NewTracer()
+	tr.SetClock(fakeClock(0, 7))
+	s := tr.Span("s")
+	s.End()
+	first := tr.Report().Span("s").DurationNS
+	s.End() // second End must not move the end time
+	if again := tr.Report().Span("s").DurationNS; again != first {
+		t.Errorf("duration changed after second End: %d -> %d", first, again)
+	}
+}
+
+// TestNilTracerIsSafe exercises every nil-receiver path of the tracer
+// API: the whole instrumented call pattern must be a no-op.
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.SetMeta("k", 1)
+	tr.SetClock(func() int64 { return 0 })
+	if tr.Metrics() != nil {
+		t.Error("nil tracer Metrics() != nil")
+	}
+	if tr.Report() != nil {
+		t.Error("nil tracer Report() != nil")
+	}
+	s := tr.Span("root")
+	if s != nil {
+		t.Fatal("nil tracer Span() != nil")
+	}
+	c := s.Child("child").SetInt("a", 1).SetFloat("b", 2).SetAttr("c", 3)
+	c.End()
+	s.End()
+
+	var rep *Report
+	if rep.Span("x") != nil || rep.AggregateSpans() != nil {
+		t.Error("nil report lookups not nil")
+	}
+	var snap *SpanSnapshot
+	if snap.Find("x") != nil || snap.Duration() != 0 {
+		t.Error("nil snapshot methods not zero")
+	}
+}
+
+func TestNilSpanAllocFree(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		s := tr.Span("sampling")
+		c := s.Child("selection").SetInt("theta", 7)
+		c.End()
+		s.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-tracer span pattern allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestRoundNames(t *testing.T) {
+	if Round(1) != "round-1" || Round(63) != "round-63" || Round(64) != "round-64" {
+		t.Errorf("Round names wrong: %q %q %q", Round(1), Round(63), Round(64))
+	}
+	allocs := testing.AllocsPerRun(100, func() { _ = Round(5) })
+	if allocs != 0 {
+		t.Errorf("Round(5) allocates %v per run, want 0", allocs)
+	}
+}

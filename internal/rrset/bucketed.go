@@ -103,4 +103,7 @@ func (sb *SubsimBucketed) Generate(r *rng.Source, root int32, sentinel []bool) R
 func (sb *SubsimBucketed) note(set RRSet) {
 	sb.stats.Sets++
 	sb.stats.Nodes += int64(len(set))
+	if sb.t.hit {
+		sb.stats.SentinelHits++
+	}
 }

@@ -1,0 +1,87 @@
+package rrset
+
+import (
+	"subsim/internal/graph"
+	"subsim/internal/obs"
+	"subsim/internal/rng"
+)
+
+// Instrumented wraps a Generator and streams per-set observations into
+// an obs.MetricSet: the RR-size and edges-per-set histograms, the
+// running totals, the sentinel-hit counter, and (when the wrapped
+// generator supports it) the geometric-skip-length histogram. The
+// wrapper keeps generator code clean — generators only maintain their
+// plain Stats counters — and costs two Stats copies plus a handful of
+// atomic adds per generated set, which is negligible against a reverse
+// BFS.
+//
+// Like the generators it wraps, an Instrumented is not safe for
+// concurrent use; Clone produces an independent wrapper sharing the
+// (concurrency-safe) metric set.
+type Instrumented struct {
+	gen        Generator
+	m          *obs.MetricSet
+	workerSets *obs.Counter
+}
+
+// skipInstrumentable is implemented by generators that can observe their
+// geometric skip lengths into a histogram (currently Subsim).
+type skipInstrumentable interface {
+	setSkipHistogram(*obs.Histogram)
+}
+
+// Instrument wraps gen so every generated set is observed into m, with
+// per-Generate increments on workerSets when non-nil (the Batcher passes
+// one counter per worker). A nil m returns gen unchanged — the disabled
+// path has literally zero overhead, which is what the nil-tracer
+// contract promises and BenchmarkInstrumentedGenerate checks.
+func Instrument(gen Generator, m *obs.MetricSet, workerSets *obs.Counter) Generator {
+	if m == nil {
+		return gen
+	}
+	if si, ok := gen.(skipInstrumentable); ok {
+		si.setSkipHistogram(&m.SkipLen)
+	}
+	return &Instrumented{gen: gen, m: m, workerSets: workerSets}
+}
+
+// Generate delegates to the wrapped generator and records the per-set
+// deltas of its counters.
+func (ig *Instrumented) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
+	before := ig.gen.Stats()
+	set := ig.gen.Generate(r, root, sentinel)
+	after := ig.gen.Stats()
+	m := ig.m
+	size := int64(len(set))
+	edges := after.EdgesExamined - before.EdgesExamined
+	m.RRSize.Observe(size)
+	m.EdgesPerSet.Observe(edges)
+	m.Sets.Inc()
+	m.Nodes.Add(size)
+	m.Edges.Add(edges)
+	if after.SentinelHits > before.SentinelHits {
+		m.SentinelHits.Inc()
+	}
+	ig.workerSets.Inc()
+	return set
+}
+
+// Graph returns the wrapped generator's graph.
+func (ig *Instrumented) Graph() *graph.Graph { return ig.gen.Graph() }
+
+// Stats returns the wrapped generator's counters.
+func (ig *Instrumented) Stats() Stats { return ig.gen.Stats() }
+
+// ResetStats zeroes the wrapped generator's counters (the metric set is
+// cumulative across the run and is left untouched).
+func (ig *Instrumented) ResetStats() { ig.gen.ResetStats() }
+
+// Clone wraps a clone of the inner generator against the same metric
+// set and worker counter.
+func (ig *Instrumented) Clone() Generator {
+	return Instrument(ig.gen.Clone(), ig.m, ig.workerSets)
+}
+
+// Unwrap returns the wrapped generator, for callers that need the
+// concrete type.
+func (ig *Instrumented) Unwrap() Generator { return ig.gen }

@@ -116,4 +116,7 @@ func (lt *LT) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
 func (lt *LT) note(set RRSet) {
 	lt.stats.Sets++
 	lt.stats.Nodes += int64(len(set))
+	if lt.t.hit {
+		lt.stats.SentinelHits++
+	}
 }

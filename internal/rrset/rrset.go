@@ -45,6 +45,11 @@ type Stats struct {
 	Sets          int64
 	Nodes         int64
 	EdgesExamined int64
+	// SentinelHits counts the sets whose traversal was truncated by a
+	// sentinel node (including a sentinel root), the directly measurable
+	// form of HIST's hit-and-stop behaviour: every hit set is covered by
+	// the sentinel seed set S_b.
+	SentinelHits int64
 }
 
 // AvgSize returns the average RR set size, or 0 before any set has been
@@ -61,6 +66,16 @@ func (s *Stats) Add(other Stats) {
 	s.Sets += other.Sets
 	s.Nodes += other.Nodes
 	s.EdgesExamined += other.EdgesExamined
+	s.SentinelHits += other.SentinelHits
+}
+
+// Sub removes the counters of other from s; used to report deltas
+// against a baseline snapshot.
+func (s *Stats) Sub(other Stats) {
+	s.Sets -= other.Sets
+	s.Nodes -= other.Nodes
+	s.EdgesExamined -= other.EdgesExamined
+	s.SentinelHits -= other.SentinelHits
 }
 
 // Generator produces random RR sets over a fixed graph.
@@ -93,12 +108,16 @@ func GenerateRandom(gen Generator, r *rng.Source, sentinel []bool) RRSet {
 }
 
 // traversal is the shared reverse-BFS state: an epoch-stamped visited
-// array (cleared in O(1) by bumping the epoch) and a reusable queue.
+// array (cleared in O(1) by bumping the epoch) and a reusable queue. The
+// hit flag records whether the current traversal stopped on a sentinel,
+// so generators can count Stats.SentinelHits without threading a return
+// value through every traversal path.
 type traversal struct {
 	g       *graph.Graph
 	visited []uint32
 	epoch   uint32
 	queue   []int32
+	hit     bool
 }
 
 func newTraversal(g *graph.Graph) traversal {
@@ -119,10 +138,12 @@ func (t *traversal) begin(root int32, sentinel []bool) (set RRSet, done bool) {
 		}
 		t.epoch = 1
 	}
+	t.hit = false
 	t.visited[root] = t.epoch
 	t.queue = t.queue[:0]
 	set = append(make(RRSet, 0, 8), root)
 	if sentinel != nil && sentinel[root] {
+		t.hit = true
 		return set, true
 	}
 	t.queue = append(t.queue, root)
@@ -135,6 +156,7 @@ func (t *traversal) activate(w int32, sentinel []bool, set *RRSet) (stop bool) {
 	t.visited[w] = t.epoch
 	*set = append(*set, w)
 	if sentinel != nil && sentinel[w] {
+		t.hit = true
 		return true
 	}
 	t.queue = append(t.queue, w)

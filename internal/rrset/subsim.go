@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"subsim/internal/graph"
+	"subsim/internal/obs"
 	"subsim/internal/rng"
 )
 
@@ -35,7 +36,15 @@ type Subsim struct {
 	// (bucket j spans 1-indexed positions [2^j, 2^{j+1})). Nil when the
 	// graph offers the equal-probability fast path.
 	buckets [][]bucketInfo
+	// skipHist, when non-nil, observes every geometric skip length drawn
+	// in the hot loop; wired by rrset.Instrument. The nil check is one
+	// predictable branch per skip, so the disabled path stays free.
+	skipHist *obs.Histogram
 }
+
+// setSkipHistogram attaches the geometric-skip-length histogram; called
+// by Instrument when metrics are enabled.
+func (s *Subsim) setSkipHistogram(h *obs.Histogram) { s.skipHist = h }
 
 // bucketInfo caches, per position bucket, the geometric-skip denominator
 // for the bucket head and the probability that the bucket yields at
@@ -101,9 +110,10 @@ func (s *Subsim) Stats() Stats { return s.stats }
 func (s *Subsim) ResetStats() { s.stats = Stats{} }
 
 // Clone returns an independent generator for another goroutine, sharing
-// the immutable precomputed bucket tables.
+// the immutable precomputed bucket tables and the (concurrency-safe)
+// skip histogram.
 func (s *Subsim) Clone() Generator {
-	return &Subsim{t: newTraversal(s.t.g), buckets: s.buckets}
+	return &Subsim{t: newTraversal(s.t.g), buckets: s.buckets, skipHist: s.skipHist}
 }
 
 // Generate performs the reverse traversal with subset-sampled in-neighbor
@@ -169,6 +179,9 @@ func (s *Subsim) generateUniform(r *rng.Source, g *graph.Graph, sentinel []bool,
 				}
 			}
 			skip := r.GeometricFromLog(logP)
+			if hist := s.skipHist; hist != nil {
+				hist.Observe(skip)
+			}
 			if skip >= h-pos {
 				break
 			}
@@ -218,6 +231,9 @@ func (s *Subsim) generateSorted(r *rng.Source, g *graph.Graph, sentinel []bool, 
 					}
 				}
 				skip := r.GeometricFromLog(bi.logHead)
+				if hist := s.skipHist; hist != nil {
+					hist.Observe(skip)
+				}
 				if skip >= int64(end)-pos {
 					break
 				}
@@ -230,4 +246,7 @@ func (s *Subsim) generateSorted(r *rng.Source, g *graph.Graph, sentinel []bool, 
 func (s *Subsim) note(set RRSet) {
 	s.stats.Sets++
 	s.stats.Nodes += int64(len(set))
+	if s.t.hit {
+		s.stats.SentinelHits++
+	}
 }

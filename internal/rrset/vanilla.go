@@ -63,4 +63,7 @@ func (v *Vanilla) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
 func (v *Vanilla) note(set RRSet) {
 	v.stats.Sets++
 	v.stats.Nodes += int64(len(set))
+	if v.t.hit {
+		v.stats.SentinelHits++
+	}
 }

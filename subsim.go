@@ -24,8 +24,13 @@
 //
 //	spread := subsim.EstimateInfluence(g, res.Seeds, 10_000, subsim.IC, 1)
 //
-// All entry points are deterministic for a fixed Options.Seed and worker
-// count.
+// All entry points are deterministic for a fixed Options.Seed,
+// independent of the worker count: every RR set is drawn from an RNG
+// stream derived from its global index.
+//
+// Attach a Tracer (see NewTracer) to Options.Tracer to collect phase
+// spans, RR-generation histograms and a machine-readable run report at
+// negligible cost; a nil tracer is free.
 package subsim
 
 import (
@@ -37,6 +42,7 @@ import (
 	"subsim/internal/graph"
 	"subsim/internal/heuristics"
 	"subsim/internal/im"
+	"subsim/internal/obs"
 	"subsim/internal/oracle"
 	"subsim/internal/rng"
 	"subsim/internal/rrset"
@@ -67,11 +73,32 @@ const (
 	ModelLT          = graph.ModelLT
 )
 
-// Options configures an influence-maximization run.
+// Options configures an influence-maximization run. Set Options.Tracer
+// (see NewTracer) to collect phase spans, RR metrics and a run report.
 type Options = im.Options
 
 // Result reports a run's seed set, certified bounds and cost accounting.
+// Result.Report carries the observability run report when a Tracer was
+// attached.
 type Result = im.Result
+
+// Tracer records phase spans and low-overhead RR-generation metrics for
+// a run; construct one with NewTracer and attach it to Options.Tracer.
+// A nil *Tracer disables all instrumentation at zero cost.
+type Tracer = obs.Tracer
+
+// RunReport is the schema-versioned machine-readable summary of one run:
+// the span tree, power-of-two histograms (RR size, edge examinations per
+// set, geometric skip lengths), counters and per-worker totals. Write it
+// with its WriteJSON / WritePrometheus methods.
+type RunReport = obs.Report
+
+// RRMetrics is the live metric set behind a tracer (atomic counters and
+// histograms shared by all workers).
+type RRMetrics = obs.MetricSet
+
+// NewTracer returns an enabled tracer with a fresh metric set.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // RRSet is one reverse-reachable sample.
 type RRSet = rrset.RRSet
@@ -261,6 +288,14 @@ func SampleRRSets(gen RRGenerator, count int, seed uint64) []RRSet {
 
 // RRStats reports the cost counters a generator has accumulated.
 func RRStats(gen RRGenerator) rrset.Stats { return gen.Stats() }
+
+// InstrumentRRGenerator wraps gen so every generated set streams its
+// size and edge-examination count into m's histograms (plus the
+// geometric-skip histogram for SUBSIM generators). A nil m returns gen
+// unchanged. Obtain m from Tracer.Metrics.
+func InstrumentRRGenerator(gen RRGenerator, m *RRMetrics) RRGenerator {
+	return rrset.Instrument(gen, m, nil)
+}
 
 // NewBuilder returns a Builder for a graph with n nodes.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
