@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench benchobs examples experiments quick clean
+.PHONY: all build vet test test-alloc race cover bench bench-json benchcmp benchobs examples experiments quick clean
 
-all: build vet test race
+all: build vet test test-alloc race
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,11 @@ vet:
 test:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 
+# Allocation-regression gate: the generate→store→index pipeline must
+# stay allocation-free per RR set in steady state (see BENCH_rrset.json).
+test-alloc:
+	$(GO) test ./internal/im -run 'AllocFree|AmortizedAllocs' -v
+
 race:
 	$(GO) test -race ./...
 
@@ -23,6 +28,23 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# RR-pipeline benchmark suite (generate, index, select, end-to-end).
+BENCH_RR = BenchmarkFillIndex|BenchmarkGenerateSingle|BenchmarkSelectSeeds|BenchmarkOPIMC_E2E
+
+# Record the RR-pipeline benchmarks into BENCH_rrset.json under LABEL
+# (default "current"); committed baselines are "pre-arena" / "arena-csr".
+LABEL ?= current
+bench-json:
+	$(GO) test ./internal/im -run '^$$' -bench '$(BENCH_RR)' -benchmem 2>&1 | tee bench_rrset.txt
+	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label $(LABEL) bench_rrset.txt
+
+# Compare two recorded baselines (override OLD/NEW to pick other labels,
+# e.g. `make bench-json LABEL=current && make benchcmp NEW=current`).
+OLD ?= pre-arena
+NEW ?= arena-csr
+benchcmp:
+	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -compare $(OLD),$(NEW)
 
 # Observability overhead: bare vs nil-wrapped vs metrics-on RR generation.
 benchobs:
@@ -44,4 +66,4 @@ quick:
 	$(GO) run ./cmd/imbench -quick
 
 clean:
-	rm -f test_output.txt bench_output.txt imbench graph.bin
+	rm -f test_output.txt bench_output.txt bench_rrset.txt imbench graph.bin

@@ -1,0 +1,263 @@
+// Command benchjson records `go test -bench` output as machine-readable
+// JSON baselines and compares recorded runs, so performance numbers live
+// in the repository next to the code they describe.
+//
+// Usage:
+//
+//	benchjson -file BENCH_rrset.json -label arena-csr [bench_output.txt]
+//	    Parse benchmark text (a file argument or stdin) and record it
+//	    under the given label, replacing any run with the same label.
+//
+//	benchjson -file BENCH_rrset.json -compare pre-arena,arena-csr
+//	    Print a before/after table (ns/op, B/op, allocs/op with deltas)
+//	    for two recorded runs.
+//
+//	benchjson -file BENCH_rrset.json -list
+//	    List the recorded runs.
+//
+// When a benchmark appears multiple times (e.g. -count 3), the fastest
+// ns/op line is kept, following the usual "best observed time" bench
+// convention. The trailing -N GOMAXPROCS suffix is stripped from names
+// so baselines recorded on machines with different core counts compare.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metrics is one benchmark's measurements: the three standard go-test
+// columns plus any custom b.ReportMetric units (e.g. sets/op).
+type Metrics struct {
+	NsOp     float64            `json:"ns_op"`
+	BOp      float64            `json:"b_op,omitempty"`
+	AllocsOp float64            `json:"allocs_op,omitempty"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
+}
+
+// Run is one recorded benchmark pass.
+type Run struct {
+	Label      string             `json:"label"`
+	Recorded   string             `json:"recorded"`
+	GoVersion  string             `json:"go_version"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// File is the on-disk schema of BENCH_*.json.
+type File struct {
+	Schema int   `json:"schema"`
+	Runs   []Run `json:"runs"`
+}
+
+func main() {
+	var (
+		path    = flag.String("file", "BENCH_rrset.json", "JSON baseline file to read/write")
+		label   = flag.String("label", "", "record parsed benchmarks under this label")
+		compare = flag.String("compare", "", "compare two recorded labels, \"old,new\"")
+		list    = flag.Bool("list", false, "list recorded runs")
+	)
+	flag.Parse()
+	if err := run(*path, *label, *compare, *list, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, label, compare string, list bool, args []string) error {
+	f, err := load(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case list:
+		for _, r := range f.Runs {
+			fmt.Printf("%-20s %s  (%d benchmarks, %s)\n", r.Label, r.Recorded, len(r.Benchmarks), r.GoVersion)
+		}
+		return nil
+	case compare != "":
+		labels := strings.SplitN(compare, ",", 2)
+		if len(labels) != 2 {
+			return fmt.Errorf("-compare wants \"old,new\", got %q", compare)
+		}
+		old, err := f.find(labels[0])
+		if err != nil {
+			return err
+		}
+		cur, err := f.find(labels[1])
+		if err != nil {
+			return err
+		}
+		printComparison(os.Stdout, old, cur)
+		return nil
+	case label != "":
+		var in io.Reader = os.Stdin
+		if len(args) > 0 {
+			fh, err := os.Open(args[0])
+			if err != nil {
+				return err
+			}
+			defer fh.Close()
+			in = fh
+		}
+		bms, err := parseBench(in)
+		if err != nil {
+			return err
+		}
+		if len(bms) == 0 {
+			return fmt.Errorf("no benchmark lines found in input")
+		}
+		f.put(Run{
+			Label:      label,
+			Recorded:   time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			Benchmarks: bms,
+		})
+		if err := save(path, f); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d benchmarks as %q in %s\n", len(bms), label, path)
+		return nil
+	default:
+		return fmt.Errorf("one of -label, -compare or -list is required")
+	}
+}
+
+func load(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &File{Schema: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func save(path string, f *File) error {
+	f.Schema = 1
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func (f *File) find(label string) (Run, error) {
+	for _, r := range f.Runs {
+		if r.Label == label {
+			return r, nil
+		}
+	}
+	return Run{}, fmt.Errorf("no run labelled %q (use -list)", label)
+}
+
+// put replaces the run with the same label or appends a new one.
+func (f *File) put(r Run) {
+	for i := range f.Runs {
+		if f.Runs[i].Label == r.Label {
+			f.Runs[i] = r
+			return
+		}
+	}
+	f.Runs = append(f.Runs, r)
+}
+
+// parseBench extracts benchmark results from go-test output. Lines look
+// like:
+//
+//	BenchmarkFillIndex_Subsim_W1-8  234  5060000 ns/op  123 B/op  7 allocs/op  2000 sets/op
+//
+// Non-benchmark lines are ignored. The fastest ns/op wins for repeated
+// names.
+func parseBench(r io.Reader) (map[string]Metrics, error) {
+	out := map[string]Metrics{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip -GOMAXPROCS
+			}
+		}
+		var m Metrics
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsOp = val
+				seen = true
+			case "B/op":
+				m.BOp = val
+			case "allocs/op":
+				m.AllocsOp = val
+			default:
+				if m.Extra == nil {
+					m.Extra = map[string]float64{}
+				}
+				m.Extra[fields[i+1]] = val
+			}
+		}
+		if !seen {
+			continue
+		}
+		if prev, ok := out[name]; !ok || m.NsOp < prev.NsOp {
+			out[name] = m
+		}
+	}
+	return out, sc.Err()
+}
+
+func printComparison(w io.Writer, old, cur Run) {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		if _, ok := old.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-40s %12s %12s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ", "old allocs", "new allocs", "Δ")
+	for _, name := range names {
+		o, n := old.Benchmarks[name], cur.Benchmarks[name]
+		fmt.Fprintf(w, "%-40s %12.0f %12.0f %8s %12.0f %12.0f %8s\n",
+			strings.TrimPrefix(name, "Benchmark"),
+			o.NsOp, n.NsOp, delta(o.NsOp, n.NsOp),
+			o.AllocsOp, n.AllocsOp, delta(o.AllocsOp, n.AllocsOp))
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(w, "(no common benchmarks between %q and %q)\n", old.Label, cur.Label)
+	}
+}
+
+// delta formats the relative change from before to after ("-37.5%").
+func delta(before, after float64) string {
+	if before == 0 {
+		if after == 0 {
+			return "0%"
+		}
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.1f%%", (after-before)/before*100)
+}

@@ -151,7 +151,7 @@ func sentinelSet(gen rrset.Generator, opt im.Options, phase *obs.Span, eps1, del
 
 	b1 := im.NewInstrumentedBatcher(gen, opt.Seed, opt.Workers, opt.Tracer.Metrics())
 	outDeg := outDegrees(g)
-	idx1 := coverage.NewIndex(n, outDeg)
+	idx1 := coverage.NewIndexObs(n, outDeg, opt.Tracer.Metrics())
 
 	rep := phase1Report{}
 	theta := theta0
@@ -252,8 +252,8 @@ func imSentinel(gen rrset.Generator, opt im.Options, phase *obs.Span, sb []int32
 
 	batch := im.NewInstrumentedBatcher(gen, opt.Seed+1, opt.Workers, opt.Tracer.Metrics())
 	outDeg := outDegrees(g)
-	idx1 := coverage.NewIndex(n, outDeg)
-	idx2 := coverage.NewIndex(n, outDeg)
+	idx1 := coverage.NewIndexObs(n, outDeg, opt.Tracer.Metrics())
+	idx2 := coverage.NewIndexObs(n, outDeg, opt.Tracer.Metrics())
 
 	res := &im.Result{}
 	var hits1, hits2 int64
@@ -304,14 +304,16 @@ func imSentinel(gen rrset.Generator, opt im.Options, phase *obs.Span, sb []int32
 
 // countHits draws `count` sentinel-terminated RR sets and returns how
 // many stopped on a sentinel (equivalently, are covered by the sentinel
-// set).
+// set). The sets are scanned in place in the worker arenas and never
+// materialised.
 func countHits(b *im.Batcher, count int, sentinel []bool) int64 {
 	var hits int64
-	for _, set := range b.Generate(count, sentinel) {
+	b.Visit(count, sentinel, func(set []int32) bool {
 		if len(set) > 0 && sentinel[set[len(set)-1]] {
 			hits++
 		}
-	}
+		return true
+	})
 	return hits
 }
 

@@ -7,9 +7,10 @@
 package coverage
 
 import (
-	"container/heap"
 	"sort"
+	"time"
 
+	"subsim/internal/obs"
 	"subsim/internal/rrset"
 )
 
@@ -18,16 +19,35 @@ import (
 // index permanently, so the same Index can be queried repeatedly as it
 // grows (the doubling loops of IMM/OPIM-C/HIST rely on this).
 //
+// Storage is fully flat: the sets live in an arena-backed rrset.Store
+// (one contiguous []int32 with per-set offsets), and the node→sets
+// inverted index is a CSR pair (heads, postings) built by counting sort.
+// The CSR is rebuilt lazily on the first query after a batch of appends,
+// and each rebuild only scans the newly appended delta — old posting
+// lists are block-copied — so across the doubling rounds of
+// IMM/OPIM-C/HIST every posting is scanned O(1) times amortised.
+//
 // Index is not safe for concurrent mutation; build it single-threaded or
 // guard it externally. Selection runs are single-threaded.
 type Index struct {
-	n        int
-	outDeg   []int32 // optional out-degrees for the Revised-Greedy tie-break
-	sets     []rrset.RRSet
-	nodeSets [][]int32 // node -> ids of RR sets containing it
+	n      int
+	outDeg []int32 // optional out-degrees for the Revised-Greedy tie-break
+	store  rrset.Store
+
+	// CSR inverted index over the first `indexed` sets: the posting list
+	// of node v is postings[heads[v]:heads[v+1]], ascending by set id.
+	heads    []int64
+	postings []int32
+	indexed  int     // number of store sets covered by the CSR
+	cursors  []int64 // reusable counting-sort scratch, len n, zeroed between builds
 
 	covered []uint32 // per-set stamp; covered in run r iff covered[i] == r
 	run     uint32
+
+	// Optional observability hooks (nil-safe): build duration and
+	// postings placed per CSR rebuild.
+	buildHist  *obs.Histogram
+	entriesCtr *obs.Counter
 }
 
 // NewIndex returns an empty index over n nodes. outDeg, when non-nil,
@@ -38,39 +58,158 @@ func NewIndex(n int, outDeg []int32) *Index {
 		panic("coverage: outDeg length mismatch")
 	}
 	return &Index{
-		n:        n,
-		outDeg:   outDeg,
-		nodeSets: make([][]int32, n),
+		n:       n,
+		outDeg:  outDeg,
+		heads:   make([]int64, n+1),
+		cursors: make([]int64, n),
 	}
 }
 
-// Add appends one RR set to the index.
-func (x *Index) Add(set rrset.RRSet) {
-	id := int32(len(x.sets))
-	x.sets = append(x.sets, set)
-	x.covered = append(x.covered, 0)
-	for _, v := range set {
-		x.nodeSets[v] = append(x.nodeSets[v], id)
-	}
+// SetBuildMetrics attaches observability instruments to the CSR rebuild:
+// hist observes nanoseconds per rebuild, entries counts postings placed.
+// Both are nil-safe; a nil tracer therefore threads through for free.
+func (x *Index) SetBuildMetrics(hist *obs.Histogram, entries *obs.Counter) {
+	x.buildHist = hist
+	x.entriesCtr = entries
 }
+
+// NewIndexObs returns NewIndex wired to m's index-build instruments
+// (build-duration histogram and postings counter); a nil m yields a
+// plain, uninstrumented index.
+func NewIndexObs(n int, outDeg []int32, m *obs.MetricSet) *Index {
+	idx := NewIndex(n, outDeg)
+	if m != nil {
+		idx.SetBuildMetrics(&m.IndexBuild, &m.IndexEntries)
+	}
+	return idx
+}
+
+// Add appends one RR set to the index, copying it into the flat store.
+// The inverted index is refreshed lazily on the next query.
+func (x *Index) Add(set rrset.RRSet) {
+	x.store.Append(set)
+}
+
+// Reserve pre-grows the flat store for about sets more RR sets
+// totalling about nodes more ids.
+func (x *Index) Reserve(sets, nodes int) { x.store.Reserve(sets, nodes) }
 
 // NumSets returns the number of RR sets indexed.
-func (x *Index) NumSets() int { return len(x.sets) }
+func (x *Index) NumSets() int { return x.store.NumSets() }
 
 // N returns the number of nodes the index is defined over.
 func (x *Index) N() int { return x.n }
 
+// Set returns the i-th RR set as a read-only view into the flat store.
+func (x *Index) Set(i int) []int32 { return x.store.Set(i) }
+
+// MemoryBytes reports the approximate heap footprint of the flat set
+// store plus the CSR inverted index.
+func (x *Index) MemoryBytes() int64 {
+	return x.store.MemoryBytes() + int64(cap(x.postings))*4 + int64(cap(x.heads))*8
+}
+
+// ensureIndexed brings the CSR inverted index (and the covered stamps)
+// up to date with the store. Each call scans only the delta appended
+// since the previous build: a counting pass bumps per-node delta counts,
+// then a placement pass block-copies the old posting lists into their
+// new positions and scatters the delta set ids behind them. Posting
+// lists stay ascending by set id, matching the append order of the old
+// slice-of-slices index exactly.
+func (x *Index) ensureIndexed() {
+	total := x.store.NumSets()
+	if x.indexed == total {
+		return
+	}
+	start := time.Now()
+
+	data := x.store.Data()
+	ends := x.store.Ends()
+	deltaFrom := int64(0)
+	if x.indexed > 0 {
+		deltaFrom = ends[x.indexed-1]
+	}
+
+	// Counting pass over the delta only.
+	cnt := x.cursors // zeroed by the previous build (or construction)
+	for _, v := range data[deltaFrom:] {
+		cnt[v]++
+	}
+
+	// New heads: old per-node length + delta count, prefix-summed.
+	newHeads := make([]int64, x.n+1)
+	var acc int64
+	for v := 0; v < x.n; v++ {
+		newHeads[v] = acc
+		acc += (x.heads[v+1] - x.heads[v]) + cnt[v]
+	}
+	newHeads[x.n] = acc
+	newPost := make([]int32, acc)
+
+	// Placement pass: block-copy the old posting lists, then scatter the
+	// delta ids behind them (delta sets are scanned in ascending id
+	// order, so lists stay sorted).
+	for v := 0; v < x.n; v++ {
+		oldLen := x.heads[v+1] - x.heads[v]
+		if oldLen > 0 {
+			copy(newPost[newHeads[v]:], x.postings[x.heads[v]:x.heads[v+1]])
+		}
+		cnt[v] = newHeads[v] + oldLen // becomes the scatter cursor
+	}
+	pos := deltaFrom
+	for id := x.indexed; id < total; id++ {
+		end := ends[id]
+		for ; pos < end; pos++ {
+			v := data[pos]
+			newPost[cnt[v]] = int32(id)
+			cnt[v]++
+		}
+	}
+
+	// Reset the scratch for the next build.
+	for v := range cnt {
+		cnt[v] = 0
+	}
+
+	x.heads = newHeads
+	x.postings = newPost
+	x.entriesCtr.Add(int64(len(data)) - deltaFrom) // delta postings placed
+	x.indexed = total
+
+	// Grow the covered stamps to match; fresh sets carry stamp 0, which
+	// is never equal to a live run id.
+	if cap(x.covered) < total {
+		grown := make([]uint32, total)
+		copy(grown, x.covered)
+		x.covered = grown
+	} else {
+		x.covered = x.covered[:total]
+	}
+
+	x.buildHist.Observe(time.Since(start).Nanoseconds())
+}
+
+// posting returns the CSR posting list of node v (the ids of the indexed
+// RR sets containing v). Valid until the next rebuild.
+func (x *Index) posting(v int32) []int32 {
+	return x.postings[x.heads[v]:x.heads[v+1]]
+}
+
 // Degree returns the number of indexed RR sets containing v, i.e. the
 // marginal coverage of v with respect to the empty seed set.
-func (x *Index) Degree(v int32) int { return len(x.nodeSets[v]) }
+func (x *Index) Degree(v int32) int {
+	x.ensureIndexed()
+	return len(x.posting(v))
+}
 
 // CoverageOf returns Λ(S): the number of indexed RR sets intersecting the
 // seed set.
 func (x *Index) CoverageOf(seeds []int32) int64 {
+	x.ensureIndexed()
 	x.newRun()
 	var cov int64
 	for _, v := range seeds {
-		for _, id := range x.nodeSets[v] {
+		for _, id := range x.posting(v) {
 			if x.covered[id] != x.run {
 				x.covered[id] = x.run
 				cov++
@@ -143,13 +282,20 @@ type celfEntry struct {
 	iter int32 // selection round the gain was computed in
 }
 
+// celfHeap is a hand-rolled max-heap over celfEntry. container/heap
+// boxes every pushed and popped element into an interface, which put
+// tens of thousands of allocations on the selection path; the direct
+// implementation keeps Push/Pop allocation-free. The comparison is a
+// total order (node ids are unique), so the pop sequence — and with it
+// every greedy pick — is identical to the container/heap version.
 type celfHeap struct {
 	entries []celfEntry
 	outDeg  []int32 // nil disables the out-degree tie-break
 }
 
 func (h *celfHeap) Len() int { return len(h.entries) }
-func (h *celfHeap) Less(i, j int) bool {
+
+func (h *celfHeap) less(i, j int) bool {
 	a, b := h.entries[i], h.entries[j]
 	if a.gain != b.gain {
 		return a.gain > b.gain
@@ -159,14 +305,60 @@ func (h *celfHeap) Less(i, j int) bool {
 	}
 	return a.node < b.node
 }
-func (h *celfHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
-func (h *celfHeap) Push(v any)    { h.entries = append(h.entries, v.(celfEntry)) }
-func (h *celfHeap) Pop() any {
-	old := h.entries
-	n := len(old)
-	v := old[n-1]
-	h.entries = old[:n-1]
-	return v
+
+func (h *celfHeap) swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+
+// init establishes the heap invariant over the current entries in O(n).
+func (h *celfHeap) init() {
+	n := len(h.entries)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i, n)
+	}
+}
+
+func (h *celfHeap) siftDown(i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && h.less(r, l) {
+			best = r
+		}
+		if !h.less(best, i) {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *celfHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// push adds an entry, keeping the invariant.
+func (h *celfHeap) push(e celfEntry) {
+	h.entries = append(h.entries, e)
+	h.siftUp(len(h.entries) - 1)
+}
+
+// pop removes and returns the maximum entry.
+func (h *celfHeap) pop() celfEntry {
+	n := len(h.entries) - 1
+	h.swap(0, n)
+	top := h.entries[n]
+	h.entries = h.entries[:n]
+	h.siftDown(0, n)
+	return top
 }
 
 // SelectSeeds runs the (revised) greedy max-coverage algorithm with lazy
@@ -201,6 +393,7 @@ func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 		tie = x.outDeg
 	}
 
+	x.ensureIndexed()
 	x.newRun()
 	h := &celfHeap{outDeg: tie}
 	h.entries = make([]celfEntry, 0, x.n)
@@ -209,16 +402,16 @@ func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 		if opt.Exclude != nil && opt.Exclude[v] {
 			continue
 		}
-		g := int64(len(x.nodeSets[v]))
+		g := int64(len(x.posting(int32(v))))
 		gains[v] = g
 		h.entries = append(h.entries, celfEntry{gain: g, node: int32(v), iter: 0})
 	}
-	heap.Init(h)
+	h.init()
 
 	res := GreedyResult{
 		Seeds:         make([]int32, 0, k),
 		Coverage:      make([]int64, 0, k),
-		CoverageUpper: int64(len(x.sets)) + opt.Base, // trivial bound; tightened below
+		CoverageUpper: int64(x.store.NumSets()) + opt.Base, // trivial bound; tightened below
 	}
 	selected := make([]bool, x.n)
 
@@ -231,7 +424,7 @@ func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 	for round := int32(1); int(round) <= k && h.Len() > 0; round++ {
 		var pick celfEntry
 		for {
-			pick = heap.Pop(h).(celfEntry)
+			pick = h.pop()
 			if pick.iter == round-1 || pick.gain == 0 {
 				// Fresh (computed against the current covered state), or
 				// zero — no stale entry can beat zero since gains are
@@ -242,12 +435,12 @@ func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 			pick.gain = x.marginal(pick.node)
 			pick.iter = round - 1
 			gains[pick.node] = pick.gain
-			heap.Push(h, pick)
+			h.push(pick)
 		}
 		v := pick.node
 		selected[v] = true
 		gains[v] = 0
-		for _, id := range x.nodeSets[v] {
+		for _, id := range x.posting(v) {
 			if x.covered[id] != x.run {
 				x.covered[id] = x.run
 				cum++
@@ -271,7 +464,7 @@ func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 // covered stamps.
 func (x *Index) marginal(v int32) int64 {
 	var g int64
-	for _, id := range x.nodeSets[v] {
+	for _, id := range x.posting(v) {
 		if x.covered[id] != x.run {
 			g++
 		}

@@ -108,12 +108,19 @@ type Result struct {
 // so workers=1 and workers=8 produce identical sets, identical merged
 // generator stats, and therefore identical algorithm results. Workers
 // only decide how the per-index streams are partitioned.
+//
+// Each worker generates into its own reusable rrset.Arena (one flat
+// []int32 plus per-set offsets), so the steady-state cost of a set is
+// the traversal itself — no per-set heap allocation. Workers own
+// contiguous global-index ranges in ascending worker order, so visiting
+// the arenas worker by worker replays the sets in global-index order.
 type Batcher struct {
-	gens []rrset.Generator
-	srcs []*rng.Source // one reusable Source per worker, reseeded per set
-	base []rrset.Stats // per-worker counters at construction; Stats() reports deltas
-	seed uint64
-	next int64 // global index of the next set to generate
+	gens   []rrset.Generator
+	srcs   []*rng.Source  // one reusable Source per worker, reseeded per set
+	arenas []*rrset.Arena // one reusable arena per worker
+	base   []rrset.Stats  // per-worker counters at construction; Stats() reports deltas
+	seed   uint64
+	next   int64 // global index of the next set to generate
 }
 
 // NewBatcher builds a parallel generation front-end over gen. The
@@ -124,10 +131,11 @@ func NewBatcher(gen rrset.Generator, seed uint64, workers int) *Batcher {
 		workers = 1
 	}
 	b := &Batcher{
-		gens: make([]rrset.Generator, workers),
-		srcs: make([]*rng.Source, workers),
-		base: make([]rrset.Stats, workers),
-		seed: seed,
+		gens:   make([]rrset.Generator, workers),
+		srcs:   make([]*rng.Source, workers),
+		arenas: make([]*rrset.Arena, workers),
+		base:   make([]rrset.Stats, workers),
+		seed:   seed,
 	}
 	for w := 0; w < workers; w++ {
 		if w == 0 {
@@ -137,6 +145,7 @@ func NewBatcher(gen rrset.Generator, seed uint64, workers int) *Batcher {
 		}
 		b.base[w] = b.gens[w].Stats()
 		b.srcs[w] = rng.New(seed)
+		b.arenas[w] = rrset.NewArena(0, 0)
 	}
 	return b
 }
@@ -167,25 +176,24 @@ func setSeed(base uint64, idx int64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// Generate produces count random RR sets (uniform roots), stopping each
-// traversal at sentinel nodes when sentinel is non-nil, and returns them
-// in deterministic global-index order regardless of the worker count.
-func (b *Batcher) Generate(count int, sentinel []bool) []rrset.RRSet {
-	if count <= 0 {
-		return nil
-	}
+// fillArenas generates count sets into the per-worker arenas, worker w
+// holding the w-th contiguous block of global indices, and returns the
+// number of arenas used (a prefix of b.arenas). Arenas are reused across
+// calls: steady-state generation performs zero per-set allocations.
+func (b *Batcher) fillArenas(count int, sentinel []bool) (used int) {
 	first := b.next
 	b.next += int64(count)
 	workers := len(b.gens)
 	if count < 4*workers || workers == 1 {
-		out := make([]rrset.RRSet, 0, count)
+		a := b.arenas[0]
+		a.Reset()
+		b.reserve(a, 0, count)
 		for i := 0; i < count; i++ {
 			b.srcs[0].Seed(setSeed(b.seed, first+int64(i)))
-			out = append(out, rrset.GenerateRandom(b.gens[0], b.srcs[0], sentinel))
+			rrset.GenerateRandomInto(b.gens[0], a, b.srcs[0], sentinel)
 		}
-		return out
+		return 1
 	}
-	parts := make([][]rrset.RRSet, workers)
 	per := count / workers
 	extra := count % workers
 	var wg sync.WaitGroup
@@ -198,20 +206,70 @@ func (b *Batcher) Generate(count int, sentinel []bool) []rrset.RRSet {
 		wg.Add(1)
 		go func(w, cnt int, start int64) {
 			defer wg.Done()
-			part := make([]rrset.RRSet, 0, cnt)
+			a := b.arenas[w]
+			a.Reset()
+			b.reserve(a, w, cnt)
 			for i := 0; i < cnt; i++ {
 				b.srcs[w].Seed(setSeed(b.seed, start+int64(i)))
-				part = append(part, rrset.GenerateRandom(b.gens[w], b.srcs[w], sentinel))
+				rrset.GenerateRandomInto(b.gens[w], a, b.srcs[w], sentinel)
 			}
-			parts[w] = part
 		}(w, cnt, first+offset)
 		offset += int64(cnt)
 	}
 	wg.Wait()
-	out := make([]rrset.RRSet, 0, count)
-	for _, part := range parts {
-		out = append(out, part...)
+	return workers
+}
+
+// reserve pre-grows worker w's arena from the data: the running average
+// RR-set size observed by that worker's generator (with headroom) tells
+// the arena how many node ids the next cnt sets will need, replacing
+// amortised doubling with a single up-front growth in the common case.
+func (b *Batcher) reserve(a *rrset.Arena, w, cnt int) {
+	s := b.gens[w].Stats()
+	if s.Sets == 0 {
+		a.Reserve(cnt, 0)
+		return
 	}
+	a.Reserve(cnt, int(s.AvgSize()*float64(cnt)*1.25)+cnt)
+}
+
+// Visit generates count random RR sets (uniform roots), stopping each
+// traversal at sentinel nodes when sentinel is non-nil, and calls visit
+// on each set in deterministic global-index order regardless of the
+// worker count. The slices passed to visit are views into reusable
+// worker arenas: valid only during the call, copy to retain. A false
+// return stops the visiting loop early (all count sets have already
+// been generated, so batcher state and stats are unaffected).
+func (b *Batcher) Visit(count int, sentinel []bool, visit func(set []int32) bool) {
+	if count <= 0 {
+		return
+	}
+	used := b.fillArenas(count, sentinel)
+	for w := 0; w < used; w++ {
+		a := b.arenas[w]
+		for i, n := 0, a.Len(); i < n; i++ {
+			if !visit(a.Set(i)) {
+				return
+			}
+		}
+	}
+}
+
+// Generate produces count random RR sets in deterministic global-index
+// order, each freshly allocated and owned by the caller. It is the
+// compatibility wrapper over Visit; hot paths (FillIndex, Visit) avoid
+// the per-set copies entirely.
+func (b *Batcher) Generate(count int, sentinel []bool) []rrset.RRSet {
+	if count <= 0 {
+		return nil
+	}
+	out := make([]rrset.RRSet, 0, count)
+	b.Visit(count, sentinel, func(set []int32) bool {
+		cp := make(rrset.RRSet, len(set))
+		copy(cp, set)
+		out = append(out, cp)
+		return true
+	})
 	return out
 }
 
@@ -242,14 +300,30 @@ func (b *Batcher) ResetStats() {
 // is non-nil, sets that terminated on a sentinel (i.e. contain one) are
 // NOT added; instead the number of such hits is returned, matching
 // Algorithm 8 line 5 where covered-by-S_b sets are excluded from greedy.
+//
+// The sets are spliced from the per-worker arenas straight into the
+// index's flat store in global-index order — two contiguous appends per
+// set, no per-set allocation.
 func (b *Batcher) FillIndex(idx *coverage.Index, count int, sentinel []bool) (hits int64) {
-	sets := b.Generate(count, sentinel)
-	for _, set := range sets {
-		if sentinel != nil && len(set) > 0 && sentinel[set[len(set)-1]] {
-			hits++
-			continue
+	if count <= 0 {
+		return 0
+	}
+	used := b.fillArenas(count, sentinel)
+	nodes := 0
+	for w := 0; w < used; w++ {
+		nodes += b.arenas[w].NumNodes()
+	}
+	idx.Reserve(count, nodes)
+	for w := 0; w < used; w++ {
+		a := b.arenas[w]
+		for i, n := 0, a.Len(); i < n; i++ {
+			set := a.Set(i)
+			if sentinel != nil && len(set) > 0 && sentinel[set[len(set)-1]] {
+				hits++
+				continue
+			}
+			idx.Add(set)
 		}
-		idx.Add(set)
 	}
 	return hits
 }

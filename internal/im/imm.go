@@ -44,7 +44,7 @@ func IMM(gen rrset.Generator, opt Options) (*Result, error) {
 	if opt.Revised {
 		outDeg = outDegrees(gen)
 	}
-	idx := coverage.NewIndex(n, outDeg)
+	idx := coverage.NewIndexObs(n, outDeg, tr.Metrics())
 
 	res := &Result{}
 	lambdaPrime := bounds.IMMLambdaPrime(n, opt.K, epsPrime, l)

@@ -39,8 +39,8 @@ func OPIMC(gen rrset.Generator, opt Options) (*Result, error) {
 	if opt.Revised {
 		outDeg = outDegrees(gen)
 	}
-	idx1 := coverage.NewIndex(n, outDeg)
-	idx2 := coverage.NewIndex(n, outDeg)
+	idx1 := coverage.NewIndexObs(n, outDeg, tr.Metrics())
+	idx2 := coverage.NewIndexObs(n, outDeg, tr.Metrics())
 
 	res := &Result{}
 	theta := theta0

@@ -57,7 +57,7 @@ func SSA(gen rrset.Generator, opt Options) (*Result, error) {
 	if opt.Revised {
 		outDeg = outDegrees(gen)
 	}
-	idx := coverage.NewIndex(n, outDeg)
+	idx := coverage.NewIndexObs(n, outDeg, tr.Metrics())
 
 	res := &Result{}
 	theta := lambda
@@ -108,7 +108,7 @@ func SSA(gen rrset.Generator, opt Options) (*Result, error) {
 // verify draws RR sets one at a time until `target` of them are covered
 // by seeds or `cap` sets have been drawn, returning the covered count and
 // the number drawn. It implements the stopping-rule estimator on the
-// verification stream.
+// verification stream, scanning the sets in place in the worker arenas.
 func (b *Batcher) verify(seeds []int32, target, cap int64) (covered, used int64) {
 	g := b.gens[0].Graph()
 	inSeed := make([]bool, g.N())
@@ -123,8 +123,7 @@ func (b *Batcher) verify(seeds []int32, target, cap int64) (covered, used int64)
 		if used+want > cap {
 			want = cap - used
 		}
-		sets := b.Generate(int(want), nil)
-		for _, set := range sets {
+		b.Visit(int(want), nil, func(set []int32) bool {
 			used++
 			for _, v := range set {
 				if inSeed[v] {
@@ -132,10 +131,8 @@ func (b *Batcher) verify(seeds []int32, target, cap int64) (covered, used int64)
 					break
 				}
 			}
-			if covered >= target {
-				break
-			}
-		}
+			return covered < target
+		})
 		batch *= 2
 	}
 	return covered, used

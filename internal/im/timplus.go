@@ -41,7 +41,7 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 	if opt.Revised {
 		outDeg = outDegrees(gen)
 	}
-	idx := coverage.NewIndex(n, outDeg)
+	idx := coverage.NewIndexObs(n, outDeg, tr.Metrics())
 
 	// In-degrees for w(R).
 	inDeg := make([]int64, n)
@@ -67,7 +67,7 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 		res.Rounds = i
 		want := baseCount << uint(i)
 		if add := want - int64(idx.NumSets()); add > 0 {
-			for _, set := range b.Generate(int(add), nil) {
+			b.Visit(int(add), nil, func(set []int32) bool {
 				var w int64
 				for _, v := range set {
 					w += inDeg[v]
@@ -79,7 +79,8 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 				kappaSum += 1 - math.Pow(1-frac, float64(opt.K))
 				idx.Add(set)
 				measured++
-			}
+				return true
+			})
 		}
 		if measured == 0 {
 			continue
@@ -105,7 +106,7 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 	if limit := int64(4 * float64(n)); thetaPrime > limit {
 		thetaPrime = limit
 	}
-	fresh := coverage.NewIndex(n, outDeg)
+	fresh := coverage.NewIndexObs(n, outDeg, tr.Metrics())
 	b.FillIndex(fresh, int(thetaPrime), nil)
 	covFresh := fresh.CoverageOf(selPrev.Seeds)
 	kptPrime := float64(covFresh) / float64(fresh.NumSets()) * float64(n) / (1 + epsPrime)

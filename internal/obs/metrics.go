@@ -175,6 +175,12 @@ type MetricSet struct {
 	Edges Counter
 	// SentinelHits counts RR sets truncated by a sentinel node.
 	SentinelHits Counter
+	// IndexBuild observes the wall-clock nanoseconds of each CSR
+	// inverted-index (re)build in coverage.Index.
+	IndexBuild Histogram
+	// IndexEntries counts the postings (node→set pairs) placed by CSR
+	// index builds; with Nodes it yields the indexing amplification.
+	IndexEntries Counter
 
 	mu      sync.Mutex
 	workers []*Counter

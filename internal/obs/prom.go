@@ -22,6 +22,7 @@ func (m *MetricSet) WritePrometheus(w io.Writer) error {
 		{"subsim_rr_nodes_total", "Total nodes across all RR sets.", m.Nodes.Load()},
 		{"subsim_rr_edges_examined_total", "Edge examinations (Lemma 4 cost).", m.Edges.Load()},
 		{"subsim_sentinel_hits_total", "RR sets truncated by a sentinel.", m.SentinelHits.Load()},
+		{"subsim_index_entries_total", "Postings placed by CSR inverted-index builds.", m.IndexEntries.Load()},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
@@ -36,6 +37,7 @@ func (m *MetricSet) WritePrometheus(w io.Writer) error {
 		{"subsim_rr_size", "RR set size (nodes).", &m.RRSize},
 		{"subsim_rr_edges_per_set", "Edge examinations per RR set.", &m.EdgesPerSet},
 		{"subsim_geom_skip_len", "Geometric skip lengths (SUBSIM).", &m.SkipLen},
+		{"subsim_index_build_ns", "CSR inverted-index build duration (ns).", &m.IndexBuild},
 	}
 	for _, h := range hists {
 		if err := writePromHistogram(w, h.name, h.help, h.h); err != nil {

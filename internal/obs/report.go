@@ -92,11 +92,13 @@ func (t *Tracer) Report() *Report {
 		"rr_nodes_total":          m.Nodes.Load(),
 		"rr_edges_examined_total": m.Edges.Load(),
 		"sentinel_hits_total":     m.SentinelHits.Load(),
+		"index_entries_total":     m.IndexEntries.Load(),
 	}
 	r.Histograms = map[string]HistogramSnapshot{
 		"rr_size":          m.RRSize.Snapshot(),
 		"rr_edges_per_set": m.EdgesPerSet.Snapshot(),
 		"geom_skip_len":    m.SkipLen.Snapshot(),
+		"index_build_ns":   m.IndexBuild.Snapshot(),
 	}
 	r.WorkerSets = m.WorkerSnapshot()
 	return r

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"subsim/internal/bounds"
+	"subsim/internal/coverage"
 	"subsim/internal/im"
 	"subsim/internal/rrset"
 )
@@ -19,16 +20,20 @@ import (
 // Oracle answers influence queries over a fixed RR collection. Build one
 // with New or NewWithPrecision. The zero value is not usable.
 //
+// The collection lives in the flat arena-backed coverage.Index (CSR
+// store + CSR inverted index), so construction performs no per-set heap
+// allocation and queries walk contiguous posting lists.
+//
 // Oracle queries mutate a small amount of scratch state and are NOT safe
 // for concurrent use; guard with a mutex or build one oracle per
 // goroutine (sharing the generator's graph).
 type Oracle struct {
-	n        int
-	theta    int64
-	nodeSets [][]int32
-	covered  []uint32
-	run      uint32
-	stats    rrset.Stats
+	n     int
+	theta int64
+	idx   *coverage.Index
+	stats rrset.Stats
+
+	seedBuf []int32 // reusable, bounds-filtered copy of query seeds
 }
 
 // New builds an oracle from theta random RR sets drawn through gen,
@@ -39,18 +44,12 @@ func New(gen rrset.Generator, theta int64, seed uint64, workers int) (*Oracle, e
 	}
 	g := gen.Graph()
 	o := &Oracle{
-		n:        g.N(),
-		theta:    theta,
-		nodeSets: make([][]int32, g.N()),
-		covered:  make([]uint32, theta),
+		n:     g.N(),
+		theta: theta,
+		idx:   coverage.NewIndex(g.N(), nil),
 	}
 	b := im.NewBatcher(gen, seed, workers)
-	sets := b.Generate(int(theta), nil)
-	for id, set := range sets {
-		for _, v := range set {
-			o.nodeSets[v] = append(o.nodeSets[v], int32(id))
-		}
-	}
+	b.FillIndex(o.idx, int(theta), nil)
 	o.stats = b.Stats()
 	return o, nil
 }
@@ -81,28 +80,16 @@ func (o *Oracle) Theta() int64 { return o.theta }
 func (o *Oracle) Stats() rrset.Stats { return o.stats }
 
 // Coverage returns Λ(S), the number of backing RR sets the seed set
-// intersects.
+// intersects. Out-of-range node ids are ignored.
 func (o *Oracle) Coverage(seeds []int32) int64 {
-	o.run++
-	if o.run == 0 {
-		for i := range o.covered {
-			o.covered[i] = 0
-		}
-		o.run = 1
-	}
-	var cov int64
+	o.seedBuf = o.seedBuf[:0]
 	for _, v := range seeds {
 		if v < 0 || int(v) >= o.n {
 			continue
 		}
-		for _, id := range o.nodeSets[v] {
-			if o.covered[id] != o.run {
-				o.covered[id] = o.run
-				cov++
-			}
-		}
+		o.seedBuf = append(o.seedBuf, v)
 	}
-	return cov
+	return o.idx.CoverageOf(o.seedBuf)
 }
 
 // Estimate returns the unbiased point estimate n·Λ(S)/θ of the expected

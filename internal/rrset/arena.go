@@ -1,0 +1,164 @@
+package rrset
+
+// Arena is a reusable, append-only buffer that RR sets are generated
+// into back to back: one contiguous []int32 of node ids plus an array of
+// per-set end offsets (CSR over sets). Generators append through
+// Generator.GenerateInto, which costs zero allocations once the arena
+// has grown to its steady-state capacity; Reset recycles the memory for
+// the next batch.
+//
+// An Arena is not safe for concurrent use. The Batcher keeps one arena
+// per worker and splices them in deterministic global-index order, which
+// is what keeps parallel generation allocation-free AND worker-count
+// independent.
+type Arena struct {
+	data []int32
+	ends []int64 // ends[i] is the exclusive end of set i in data
+}
+
+// NewArena returns an arena pre-sized for about sets RR sets totalling
+// about nodes node ids. Zero hints are valid and mean "grow on demand".
+func NewArena(sets, nodes int) *Arena {
+	a := &Arena{}
+	if nodes > 0 {
+		a.data = make([]int32, 0, nodes)
+	}
+	if sets > 0 {
+		a.ends = make([]int64, 0, sets)
+	}
+	return a
+}
+
+// Reset forgets all sets but keeps the allocated capacity.
+func (a *Arena) Reset() {
+	a.data = a.data[:0]
+	a.ends = a.ends[:0]
+}
+
+// Reserve grows the arena so that about sets more RR sets totalling
+// about nodes more ids fit without reallocation. Growth is geometric
+// (at least double the current capacity) so repeated Reserve calls stay
+// amortised O(1) per element. It never shrinks.
+func (a *Arena) Reserve(sets, nodes int) {
+	a.data = growInt32(a.data, nodes)
+	a.ends = growInt64(a.ends, sets)
+}
+
+// Len returns the number of RR sets in the arena.
+func (a *Arena) Len() int { return len(a.ends) }
+
+// NumNodes returns the total number of node ids across all sets.
+func (a *Arena) NumNodes() int { return len(a.data) }
+
+// Set returns the i-th RR set as a view into the arena. The slice is
+// invalidated by the next append or Reset; copy it to retain it.
+func (a *Arena) Set(i int) []int32 {
+	start := int64(0)
+	if i > 0 {
+		start = a.ends[i-1]
+	}
+	return a.data[start:a.ends[i]:a.ends[i]]
+}
+
+// start returns the offset new nodes will be appended at.
+func (a *Arena) start() int { return len(a.data) }
+
+// commit seals the pending tail [start, len(data)) as one RR set. buf
+// must be the slice returned by the generator's append chain (it may
+// have been reallocated away from a.data by growth).
+func (a *Arena) commit(buf []int32) {
+	a.data = buf
+	a.ends = append(a.ends, int64(len(buf)))
+}
+
+// Store is the flat, arena-backed RR collection behind coverage.Index:
+// all node ids of all sets in one contiguous []int32 with per-set end
+// offsets (CSR over sets). Append copies set data into the flat buffer,
+// so callers may pass transient arena views.
+type Store struct {
+	data []int32
+	ends []int64
+}
+
+// NumSets returns the number of stored RR sets.
+func (s *Store) NumSets() int { return len(s.ends) }
+
+// NumNodes returns the total node-id count across all stored sets.
+func (s *Store) NumNodes() int { return len(s.data) }
+
+// Set returns the i-th stored RR set as a view into the flat buffer.
+// The view stays valid across appends in content (data is append-only)
+// but should not be retained across reallocation-sensitive code; copy to
+// keep long-term.
+func (s *Store) Set(i int) []int32 {
+	start := int64(0)
+	if i > 0 {
+		start = s.ends[i-1]
+	}
+	return s.data[start:s.ends[i]:s.ends[i]]
+}
+
+// SetSpan returns the [start, end) offsets of set i in the flat buffer.
+func (s *Store) SetSpan(i int) (start, end int64) {
+	if i > 0 {
+		start = s.ends[i-1]
+	}
+	return start, s.ends[i]
+}
+
+// Data returns the flat node-id buffer; Ends the per-set end offsets.
+// Both are live views for read-only CSR passes (index builds).
+func (s *Store) Data() []int32 { return s.data }
+
+// Ends returns the per-set exclusive end offsets.
+func (s *Store) Ends() []int64 { return s.ends }
+
+// Append copies one RR set into the store.
+func (s *Store) Append(set []int32) {
+	s.data = append(s.data, set...)
+	s.ends = append(s.ends, int64(len(s.data)))
+}
+
+// Reserve grows the store for about sets more sets totalling about
+// nodes more ids, geometrically (see Arena.Reserve).
+func (s *Store) Reserve(sets, nodes int) {
+	s.data = growInt32(s.data, nodes)
+	s.ends = growInt64(s.ends, sets)
+}
+
+// growInt32 returns buf with capacity for at least extra more elements,
+// growing geometrically to keep repeated reserves amortised O(1).
+func growInt32(buf []int32, extra int) []int32 {
+	need := len(buf) + extra
+	if need <= cap(buf) {
+		return buf
+	}
+	newCap := 2 * cap(buf)
+	if newCap < need {
+		newCap = need
+	}
+	grown := make([]int32, len(buf), newCap)
+	copy(grown, buf)
+	return grown
+}
+
+// growInt64 is growInt32 for []int64.
+func growInt64(buf []int64, extra int) []int64 {
+	need := len(buf) + extra
+	if need <= cap(buf) {
+		return buf
+	}
+	newCap := 2 * cap(buf)
+	if newCap < need {
+		newCap = need
+	}
+	grown := make([]int64, len(buf), newCap)
+	copy(grown, buf)
+	return grown
+}
+
+// MemoryBytes reports the approximate heap footprint of the store's two
+// flat buffers, the number observability surfaces as bytes/set.
+func (s *Store) MemoryBytes() int64 {
+	return int64(cap(s.data))*4 + int64(cap(s.ends))*8
+}

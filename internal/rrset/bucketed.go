@@ -25,7 +25,7 @@ type SubsimBucketed struct {
 // node.
 func NewSubsimBucketed(g *graph.Graph, jump bool) *SubsimBucketed {
 	sb := &SubsimBucketed{
-		t:        newTraversal(g),
+		t:        newTraversal(g, 0),
 		samplers: make([]*sampling.Bucketed, g.N()),
 	}
 	for v := int32(0); v < int32(g.N()); v++ {
@@ -52,20 +52,34 @@ func (sb *SubsimBucketed) Stats() Stats { return sb.stats }
 func (sb *SubsimBucketed) ResetStats() { sb.stats = Stats{} }
 
 // Clone returns an independent generator sharing the (immutable) per-node
-// samplers but with fresh scratch space.
+// samplers, with scratch sized from the parent's observed average RR-set
+// size.
 func (sb *SubsimBucketed) Clone() Generator {
 	return &SubsimBucketed{
-		t:        newTraversal(sb.t.g),
+		t:        newTraversal(sb.t.g, scratchHint(sb.stats)),
 		samplers: sb.samplers,
 	}
 }
 
 // Generate performs the reverse traversal with bucketed in-neighbor
-// subset sampling.
+// subset sampling and returns a caller-owned set (compatibility path).
 func (sb *SubsimBucketed) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
-	set, done := sb.t.begin(root, sentinel)
+	return sb.t.copyOut(sb.generate(r, root, sentinel, sb.t.scratch[:0]))
+}
+
+// GenerateInto appends the RR set of root to the arena — the
+// allocation-free hot path.
+func (sb *SubsimBucketed) GenerateInto(a *Arena, r *rng.Source, root int32, sentinel []bool) []int32 {
+	start := a.start()
+	a.commit(sb.generate(r, root, sentinel, a.data))
+	return a.data[start:]
+}
+
+func (sb *SubsimBucketed) generate(r *rng.Source, root int32, sentinel []bool, buf []int32) []int32 {
+	base := len(buf)
+	set, done := sb.t.begin(root, sentinel, buf)
 	if done {
-		sb.note(set)
+		sb.note(len(set) - base)
 		return set
 	}
 	g := sb.t.g
@@ -92,17 +106,16 @@ func (sb *SubsimBucketed) Generate(r *rng.Source, root int32, sentinel []bool) R
 			return true
 		})
 		if stop {
-			sb.note(set)
-			return set
+			break
 		}
 	}
-	sb.note(set)
+	sb.note(len(set) - base)
 	return set
 }
 
-func (sb *SubsimBucketed) note(set RRSet) {
+func (sb *SubsimBucketed) note(size int) {
 	sb.stats.Sets++
-	sb.stats.Nodes += int64(len(set))
+	sb.stats.Nodes += int64(size)
 	if sb.t.hit {
 		sb.stats.SentinelHits++
 	}

@@ -50,9 +50,22 @@ func Instrument(gen Generator, m *obs.MetricSet, workerSets *obs.Counter) Genera
 func (ig *Instrumented) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
 	before := ig.gen.Stats()
 	set := ig.gen.Generate(r, root, sentinel)
+	ig.observe(before, int64(len(set)))
+	return set
+}
+
+// GenerateInto delegates to the wrapped generator's arena path and
+// records the per-set deltas of its counters.
+func (ig *Instrumented) GenerateInto(a *Arena, r *rng.Source, root int32, sentinel []bool) []int32 {
+	before := ig.gen.Stats()
+	set := ig.gen.GenerateInto(a, r, root, sentinel)
+	ig.observe(before, int64(len(set)))
+	return set
+}
+
+func (ig *Instrumented) observe(before Stats, size int64) {
 	after := ig.gen.Stats()
 	m := ig.m
-	size := int64(len(set))
 	edges := after.EdgesExamined - before.EdgesExamined
 	m.RRSize.Observe(size)
 	m.EdgesPerSet.Observe(edges)
@@ -63,7 +76,6 @@ func (ig *Instrumented) Generate(r *rng.Source, root int32, sentinel []bool) RRS
 		m.SentinelHits.Inc()
 	}
 	ig.workerSets.Inc()
-	return set
 }
 
 // Graph returns the wrapped generator's graph.

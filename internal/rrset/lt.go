@@ -26,7 +26,7 @@ type LT struct {
 // node must sum to at most 1 (graph.AssignLT guarantees exactly 1).
 func NewLT(g *graph.Graph) *LT {
 	lt := &LT{
-		t:     newTraversal(g),
+		t:     newTraversal(g, 0),
 		sumIn: make([]float64, g.N()),
 	}
 	for v := int32(0); v < int32(g.N()); v++ {
@@ -44,16 +44,31 @@ func (lt *LT) Stats() Stats { return lt.stats }
 // ResetStats zeroes the counters.
 func (lt *LT) ResetStats() { lt.stats = Stats{} }
 
-// Clone returns an independent generator sharing the cached weight sums.
+// Clone returns an independent generator sharing the cached weight sums,
+// with scratch sized from the parent's observed average RR-set size.
 func (lt *LT) Clone() Generator {
-	return &LT{t: newTraversal(lt.t.g), sumIn: lt.sumIn}
+	return &LT{t: newTraversal(lt.t.g, scratchHint(lt.stats)), sumIn: lt.sumIn}
 }
 
-// Generate performs the reverse random walk from root.
+// Generate performs the reverse random walk from root and returns a
+// caller-owned set (compatibility path).
 func (lt *LT) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
-	set, done := lt.t.begin(root, sentinel)
+	return lt.t.copyOut(lt.generate(r, root, sentinel, lt.t.scratch[:0]))
+}
+
+// GenerateInto appends the RR set of root to the arena — the
+// allocation-free hot path.
+func (lt *LT) GenerateInto(a *Arena, r *rng.Source, root int32, sentinel []bool) []int32 {
+	start := a.start()
+	a.commit(lt.generate(r, root, sentinel, a.data))
+	return a.data[start:]
+}
+
+func (lt *LT) generate(r *rng.Source, root int32, sentinel []bool, buf []int32) []int32 {
+	base := len(buf)
+	set, done := lt.t.begin(root, sentinel, buf)
 	if done {
-		lt.note(set)
+		lt.note(len(set) - base)
 		return set
 	}
 	g := lt.t.g
@@ -109,13 +124,13 @@ func (lt *LT) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
 		}
 		cur = next
 	}
-	lt.note(set)
+	lt.note(len(set) - base)
 	return set
 }
 
-func (lt *LT) note(set RRSet) {
+func (lt *LT) note(size int) {
 	lt.stats.Sets++
-	lt.stats.Nodes += int64(len(set))
+	lt.stats.Nodes += int64(size)
 	if lt.t.hit {
 		lt.stats.SentinelHits++
 	}

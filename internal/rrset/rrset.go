@@ -83,8 +83,13 @@ type Generator interface {
 	// Generate returns the RR set of root. A non-nil sentinel (indexed
 	// by node) makes the traversal stop as soon as a sentinel node is
 	// activated. The returned slice is freshly allocated and owned by
-	// the caller.
+	// the caller. It is the compatibility wrapper over GenerateInto:
+	// the set is built in reusable scratch and copied out exact-size.
 	Generate(r *rng.Source, root int32, sentinel []bool) RRSet
+	// GenerateInto appends the RR set of root to the arena (the hot,
+	// allocation-free path) and returns a transient view of it, valid
+	// until the arena's next append or Reset.
+	GenerateInto(a *Arena, r *rng.Source, root int32, sentinel []bool) []int32
 	// Graph returns the graph the generator samples over.
 	Graph() *graph.Graph
 	// Stats returns the counters accumulated since the last ResetStats.
@@ -92,7 +97,8 @@ type Generator interface {
 	// ResetStats zeroes the counters.
 	ResetStats()
 	// Clone returns a generator with fresh scratch space and zeroed
-	// stats for use by another goroutine.
+	// stats for use by another goroutine. Scratch capacity is seeded
+	// from the parent's observed average RR-set size.
 	Clone() Generator
 }
 
@@ -107,30 +113,71 @@ func GenerateRandom(gen Generator, r *rng.Source, sentinel []bool) RRSet {
 	return gen.Generate(r, RandomRoot(r, gen.Graph()), sentinel)
 }
 
+// GenerateRandomInto draws a uniform root and appends its RR set to the
+// arena, returning a transient view.
+func GenerateRandomInto(gen Generator, a *Arena, r *rng.Source, sentinel []bool) []int32 {
+	return gen.GenerateInto(a, r, RandomRoot(r, gen.Graph()), sentinel)
+}
+
+// defaultScratchCap is the scratch capacity a fresh traversal starts
+// with before any RR-set size has been observed. Clones of warmed
+// generators size their scratch from the parent's running average
+// instead (see scratchHint).
+const defaultScratchCap = 32
+
+// maxScratchHint caps data-driven scratch sizing so a pathological early
+// sample cannot pin megabytes per worker.
+const maxScratchHint = 1 << 16
+
+// scratchHint converts the observed average RR-set size into an initial
+// scratch capacity: a little headroom over the mean, clamped to sane
+// bounds. This replaces the historical hardcoded capacities (256 for the
+// queue, 8 for the set) with sizes learned from the workload itself.
+func scratchHint(s Stats) int {
+	if s.Sets == 0 {
+		return defaultScratchCap
+	}
+	hint := int(s.AvgSize()*1.5) + 1
+	if hint < defaultScratchCap {
+		hint = defaultScratchCap
+	}
+	if hint > maxScratchHint {
+		hint = maxScratchHint
+	}
+	return hint
+}
+
 // traversal is the shared reverse-BFS state: an epoch-stamped visited
-// array (cleared in O(1) by bumping the epoch) and a reusable queue. The
-// hit flag records whether the current traversal stopped on a sentinel,
-// so generators can count Stats.SentinelHits without threading a return
+// array (cleared in O(1) by bumping the epoch), a reusable queue, and a
+// reusable scratch buffer for the compatibility Generate path. The hit
+// flag records whether the current traversal stopped on a sentinel, so
+// generators can count Stats.SentinelHits without threading a return
 // value through every traversal path.
 type traversal struct {
 	g       *graph.Graph
 	visited []uint32
 	epoch   uint32
 	queue   []int32
+	scratch []int32 // reused root-set buffer for the compat Generate path
 	hit     bool
 }
 
-func newTraversal(g *graph.Graph) traversal {
+func newTraversal(g *graph.Graph, hint int) traversal {
+	if hint <= 0 {
+		hint = defaultScratchCap
+	}
 	return traversal{
 		g:       g,
 		visited: make([]uint32, g.N()),
-		queue:   make([]int32, 0, 256),
+		queue:   make([]int32, 0, hint),
 	}
 }
 
-// begin starts a new traversal from root. If the root itself is a
-// sentinel the RR set is just {root} and done is true.
-func (t *traversal) begin(root int32, sentinel []bool) (set RRSet, done bool) {
+// begin starts a new traversal from root, appending the root to buf
+// (the arena tail on the hot path, the reusable scratch on the compat
+// path). If the root itself is a sentinel the RR set is just {root} and
+// done is true.
+func (t *traversal) begin(root int32, sentinel []bool, buf []int32) (set []int32, done bool) {
 	t.epoch++
 	if t.epoch == 0 { // wrapped: reset stamps
 		for i := range t.visited {
@@ -141,7 +188,7 @@ func (t *traversal) begin(root int32, sentinel []bool) (set RRSet, done bool) {
 	t.hit = false
 	t.visited[root] = t.epoch
 	t.queue = t.queue[:0]
-	set = append(make(RRSet, 0, 8), root)
+	set = append(buf, root)
 	if sentinel != nil && sentinel[root] {
 		t.hit = true
 		return set, true
@@ -152,7 +199,7 @@ func (t *traversal) begin(root int32, sentinel []bool) (set RRSet, done bool) {
 
 // activate marks w visited and appends it to set and queue. It reports
 // whether the whole traversal must stop because w is a sentinel.
-func (t *traversal) activate(w int32, sentinel []bool, set *RRSet) (stop bool) {
+func (t *traversal) activate(w int32, sentinel []bool, set *[]int32) (stop bool) {
 	t.visited[w] = t.epoch
 	*set = append(*set, w)
 	if sentinel != nil && sentinel[w] {
@@ -164,3 +211,12 @@ func (t *traversal) activate(w int32, sentinel []bool, set *RRSet) (stop bool) {
 }
 
 func (t *traversal) seen(w int32) bool { return t.visited[w] == t.epoch }
+
+// copyOut returns a caller-owned, exact-size copy of the scratch-built
+// set — the single allocation of the compatibility Generate path.
+func (t *traversal) copyOut(set []int32) RRSet {
+	out := make(RRSet, len(set))
+	copy(out, set)
+	t.scratch = set[:0] // keep the (possibly grown) buffer for reuse
+	return out
+}

@@ -58,7 +58,7 @@ type bucketInfo struct {
 // and unsorted in-edges, they are sorted in place (a one-time O(m log n)
 // preprocessing shared by all clones).
 func NewSubsim(g *graph.Graph) *Subsim {
-	s := &Subsim{t: newTraversal(g)}
+	s := &Subsim{t: newTraversal(g, 0)}
 	if !g.UniformIn() {
 		g.SortInEdges()
 		s.buckets = buildBucketInfo(g)
@@ -111,17 +111,35 @@ func (s *Subsim) ResetStats() { s.stats = Stats{} }
 
 // Clone returns an independent generator for another goroutine, sharing
 // the immutable precomputed bucket tables and the (concurrency-safe)
-// skip histogram.
+// skip histogram; scratch is sized from the parent's observed average
+// RR-set size.
 func (s *Subsim) Clone() Generator {
-	return &Subsim{t: newTraversal(s.t.g), buckets: s.buckets, skipHist: s.skipHist}
+	return &Subsim{
+		t:        newTraversal(s.t.g, scratchHint(s.stats)),
+		buckets:  s.buckets,
+		skipHist: s.skipHist,
+	}
 }
 
 // Generate performs the reverse traversal with subset-sampled in-neighbor
-// activation.
+// activation and returns a caller-owned set (compatibility path).
 func (s *Subsim) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
-	set, done := s.t.begin(root, sentinel)
+	return s.t.copyOut(s.generate(r, root, sentinel, s.t.scratch[:0]))
+}
+
+// GenerateInto appends the RR set of root to the arena — the
+// allocation-free hot path.
+func (s *Subsim) GenerateInto(a *Arena, r *rng.Source, root int32, sentinel []bool) []int32 {
+	start := a.start()
+	a.commit(s.generate(r, root, sentinel, a.data))
+	return a.data[start:]
+}
+
+func (s *Subsim) generate(r *rng.Source, root int32, sentinel []bool, buf []int32) []int32 {
+	base := len(buf)
+	set, done := s.t.begin(root, sentinel, buf)
 	if done {
-		s.note(set)
+		s.note(len(set) - base)
 		return set
 	}
 	g := s.t.g
@@ -130,7 +148,7 @@ func (s *Subsim) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
 	} else {
 		s.generateSorted(r, g, sentinel, &set)
 	}
-	s.note(set)
+	s.note(len(set) - base)
 	return set
 }
 
@@ -153,7 +171,7 @@ func firstLanding(u, logHead float64, size int64) int64 {
 // generateUniform is the Algorithm 3 fast path: one geometric skip stream
 // per activated node, entered only when a single uniform says the node's
 // in-neighbor scan produces at least one landing.
-func (s *Subsim) generateUniform(r *rng.Source, g *graph.Graph, sentinel []bool, set *RRSet) {
+func (s *Subsim) generateUniform(r *rng.Source, g *graph.Graph, sentinel []bool, set *[]int32) {
 	for len(s.t.queue) > 0 {
 		u := s.t.queue[len(s.t.queue)-1]
 		s.t.queue = s.t.queue[:len(s.t.queue)-1]
@@ -192,7 +210,7 @@ func (s *Subsim) generateUniform(r *rng.Source, g *graph.Graph, sentinel []bool,
 
 // generateSorted is the Section 3.3 index-free general-IC path over
 // descending-sorted in-edges, with per-bucket first-landing shortcuts.
-func (s *Subsim) generateSorted(r *rng.Source, g *graph.Graph, sentinel []bool, set *RRSet) {
+func (s *Subsim) generateSorted(r *rng.Source, g *graph.Graph, sentinel []bool, set *[]int32) {
 	for len(s.t.queue) > 0 {
 		u := s.t.queue[len(s.t.queue)-1]
 		s.t.queue = s.t.queue[:len(s.t.queue)-1]
@@ -243,9 +261,9 @@ func (s *Subsim) generateSorted(r *rng.Source, g *graph.Graph, sentinel []bool, 
 	}
 }
 
-func (s *Subsim) note(set RRSet) {
+func (s *Subsim) note(size int) {
 	s.stats.Sets++
-	s.stats.Nodes += int64(len(set))
+	s.stats.Nodes += int64(size)
 	if s.t.hit {
 		s.stats.SentinelHits++
 	}

@@ -18,7 +18,7 @@ type Vanilla struct {
 
 // NewVanilla returns a vanilla IC generator over g.
 func NewVanilla(g *graph.Graph) *Vanilla {
-	return &Vanilla{t: newTraversal(g)}
+	return &Vanilla{t: newTraversal(g, 0)}
 }
 
 // Graph returns the underlying graph.
@@ -30,14 +30,31 @@ func (v *Vanilla) Stats() Stats { return v.stats }
 // ResetStats zeroes the counters.
 func (v *Vanilla) ResetStats() { v.stats = Stats{} }
 
-// Clone returns an independent generator for another goroutine.
-func (v *Vanilla) Clone() Generator { return NewVanilla(v.t.g) }
+// Clone returns an independent generator for another goroutine, sized
+// from the parent's observed average RR-set size.
+func (v *Vanilla) Clone() Generator {
+	return &Vanilla{t: newTraversal(v.t.g, scratchHint(v.stats))}
+}
 
-// Generate performs the reverse stochastic BFS from root.
+// Generate performs the reverse stochastic BFS from root and returns a
+// caller-owned set (compatibility path over the scratch buffer).
 func (v *Vanilla) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
-	set, done := v.t.begin(root, sentinel)
+	return v.t.copyOut(v.generate(r, root, sentinel, v.t.scratch[:0]))
+}
+
+// GenerateInto appends the RR set of root to the arena — the
+// allocation-free hot path.
+func (v *Vanilla) GenerateInto(a *Arena, r *rng.Source, root int32, sentinel []bool) []int32 {
+	start := a.start()
+	a.commit(v.generate(r, root, sentinel, a.data))
+	return a.data[start:]
+}
+
+func (v *Vanilla) generate(r *rng.Source, root int32, sentinel []bool, buf []int32) []int32 {
+	base := len(buf)
+	set, done := v.t.begin(root, sentinel, buf)
 	if done {
-		v.note(set)
+		v.note(len(set) - base)
 		return set
 	}
 	g := v.t.g
@@ -51,18 +68,18 @@ func (v *Vanilla) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
 				continue
 			}
 			if v.t.activate(w, sentinel, &set) {
-				v.note(set)
+				v.note(len(set) - base)
 				return set
 			}
 		}
 	}
-	v.note(set)
+	v.note(len(set) - base)
 	return set
 }
 
-func (v *Vanilla) note(set RRSet) {
+func (v *Vanilla) note(size int) {
 	v.stats.Sets++
-	v.stats.Nodes += int64(len(set))
+	v.stats.Nodes += int64(size)
 	if v.t.hit {
 		v.stats.SentinelHits++
 	}
