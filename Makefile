@@ -2,15 +2,36 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-alloc race cover bench bench-json benchcmp benchobs examples experiments quick clean
+.PHONY: all build vet lint vet-strict fuzz-smoke test test-alloc race cover bench bench-json benchcmp benchcheck benchobs examples experiments quick clean
 
-all: build vet test test-alloc race
+all: build vet lint test test-alloc race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-invariant static analysis (determinism, hot-path allocations,
+# nil-safe tracers, float equality, unchecked errors, directive hygiene).
+# See DESIGN.md "Enforced invariants". Exits non-zero on any diagnostic.
+lint:
+	$(GO) run ./cmd/subsimlint ./...
+
+# Same analyzers driven through the go vet toolchain (unitchecker-style
+# protocol), proving the vettool mode stays wired up.
+vet-strict:
+	$(GO) build -o bin/subsimlint ./cmd/subsimlint
+	$(GO) vet -vettool=bin/subsimlint ./...
+
+# 30s native-fuzzing smoke pass per target over the untrusted-input
+# parsers and the bucketed sampler invariants (seed corpora committed
+# under testdata/fuzz/).
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sampling -run '^$$' -fuzz '^FuzzBucketedSampler$$' -fuzztime $(FUZZTIME)
 
 test:
 	$(GO) test ./... 2>&1 | tee test_output.txt
@@ -46,6 +67,12 @@ NEW ?= arena-csr
 benchcmp:
 	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -compare $(OLD),$(NEW)
 
+# Performance-regression gate: record the current numbers (make bench-json)
+# then fail if any RR-pipeline benchmark is >15% slower than the committed
+# arena-csr baseline.
+benchcheck:
+	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -check arena-csr,current
+
 # Observability overhead: bare vs nil-wrapped vs metrics-on RR generation.
 benchobs:
 	$(GO) test ./internal/rrset -run '^$$' -bench InstrumentedGenerate -benchmem -count 3
@@ -67,3 +94,4 @@ quick:
 
 clean:
 	rm -f test_output.txt bench_output.txt bench_rrset.txt imbench graph.bin
+	rm -rf bin

@@ -15,6 +15,12 @@
 //	benchjson -file BENCH_rrset.json -list
 //	    List the recorded runs.
 //
+//	benchjson -file BENCH_rrset.json -check arena-csr,current
+//	    Regression gate: compare the runs like -compare, but exit with a
+//	    non-zero status if any common benchmark's ns/op in the second run
+//	    is more than -tolerance percent (default 15) slower than in the
+//	    first. Intended for CI / make targets.
+//
 // When a benchmark appears multiple times (e.g. -count 3), the fastest
 // ns/op line is kept, following the usual "best observed time" bench
 // convention. The trailing -N GOMAXPROCS suffix is stripped from names
@@ -63,16 +69,18 @@ func main() {
 		path    = flag.String("file", "BENCH_rrset.json", "JSON baseline file to read/write")
 		label   = flag.String("label", "", "record parsed benchmarks under this label")
 		compare = flag.String("compare", "", "compare two recorded labels, \"old,new\"")
+		check   = flag.String("check", "", "like -compare, but fail when \"new\" regresses vs \"old\"")
+		tol     = flag.Float64("tolerance", 15, "allowed ns/op regression percentage for -check")
 		list    = flag.Bool("list", false, "list recorded runs")
 	)
 	flag.Parse()
-	if err := run(*path, *label, *compare, *list, flag.Args()); err != nil {
+	if err := run(*path, *label, *compare, *check, *tol, *list, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, label, compare string, list bool, args []string) error {
+func run(path, label, compare, check string, tol float64, list bool, args []string) error {
 	f, err := load(path)
 	if err != nil {
 		return err
@@ -83,10 +91,14 @@ func run(path, label, compare string, list bool, args []string) error {
 			fmt.Printf("%-20s %s  (%d benchmarks, %s)\n", r.Label, r.Recorded, len(r.Benchmarks), r.GoVersion)
 		}
 		return nil
-	case compare != "":
-		labels := strings.SplitN(compare, ",", 2)
+	case compare != "" || check != "":
+		spec, flagName := compare, "-compare"
+		if check != "" {
+			spec, flagName = check, "-check"
+		}
+		labels := strings.SplitN(spec, ",", 2)
 		if len(labels) != 2 {
-			return fmt.Errorf("-compare wants \"old,new\", got %q", compare)
+			return fmt.Errorf("%s wants \"old,new\", got %q", flagName, spec)
 		}
 		old, err := f.find(labels[0])
 		if err != nil {
@@ -97,6 +109,9 @@ func run(path, label, compare string, list bool, args []string) error {
 			return err
 		}
 		printComparison(os.Stdout, old, cur)
+		if check != "" {
+			return checkRegression(os.Stdout, old, cur, tol)
+		}
 		return nil
 	case label != "":
 		var in io.Reader = os.Stdin
@@ -249,6 +264,38 @@ func printComparison(w io.Writer, old, cur Run) {
 	if len(names) == 0 {
 		fmt.Fprintf(w, "(no common benchmarks between %q and %q)\n", old.Label, cur.Label)
 	}
+}
+
+// checkRegression returns an error (non-zero exit) when any benchmark
+// present in both runs got more than tol percent slower by ns/op. A run
+// pair with no common benchmarks is also an error: a gate that compares
+// nothing would silently pass forever.
+func checkRegression(w io.Writer, old, cur Run, tol float64) error {
+	common, slower := 0, []string{}
+	for name, n := range cur.Benchmarks {
+		o, ok := old.Benchmarks[name]
+		if !ok || o.NsOp == 0 {
+			continue
+		}
+		common++
+		if pct := (n.NsOp - o.NsOp) / o.NsOp * 100; pct > tol {
+			slower = append(slower, fmt.Sprintf("%s: %+.1f%% (%.0f -> %.0f ns/op)",
+				strings.TrimPrefix(name, "Benchmark"), pct, o.NsOp, n.NsOp))
+		}
+	}
+	if common == 0 {
+		return fmt.Errorf("no common benchmarks between %q and %q", old.Label, cur.Label)
+	}
+	if len(slower) > 0 {
+		sort.Strings(slower)
+		for _, s := range slower {
+			fmt.Fprintln(w, "REGRESSION", s)
+		}
+		return fmt.Errorf("%d of %d benchmarks regressed more than %.0f%% (%q vs %q)",
+			len(slower), common, tol, cur.Label, old.Label)
+	}
+	fmt.Fprintf(w, "check passed: %d benchmarks within %.0f%% of %q\n", common, tol, old.Label)
+	return nil
 }
 
 // delta formats the relative change from before to after ("-37.5%").

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func mkRun(label string, ns map[string]float64) Run {
+	bms := map[string]Metrics{}
+	for name, v := range ns {
+		bms[name] = Metrics{NsOp: v}
+	}
+	return Run{Label: label, Benchmarks: bms}
+}
+
+func TestCheckRegressionPasses(t *testing.T) {
+	old := mkRun("arena-csr", map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200})
+	cur := mkRun("current", map[string]float64{"BenchmarkA": 110, "BenchmarkB": 180})
+	if err := checkRegression(io.Discard, old, cur, 15); err != nil {
+		t.Fatalf("10%% slower within 15%% tolerance should pass: %v", err)
+	}
+}
+
+func TestCheckRegressionFails(t *testing.T) {
+	old := mkRun("arena-csr", map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200})
+	cur := mkRun("current", map[string]float64{"BenchmarkA": 140, "BenchmarkB": 200})
+	var buf strings.Builder
+	err := checkRegression(&buf, old, cur, 15)
+	if err == nil {
+		t.Fatal("40% regression must fail the check")
+	}
+	if !strings.Contains(buf.String(), "REGRESSION A") {
+		t.Errorf("expected a REGRESSION line naming A, got %q", buf.String())
+	}
+}
+
+func TestCheckRegressionNoCommon(t *testing.T) {
+	old := mkRun("arena-csr", map[string]float64{"BenchmarkA": 100})
+	cur := mkRun("current", map[string]float64{"BenchmarkZ": 100})
+	if err := checkRegression(io.Discard, old, cur, 15); err == nil {
+		t.Fatal("a check with no common benchmarks must fail, not silently pass")
+	}
+}
+
+func TestParseBenchKeepsFastest(t *testing.T) {
+	in := strings.NewReader(`
+goos: linux
+BenchmarkX-8   100   500 ns/op   32 B/op   2 allocs/op
+BenchmarkX-8   120   450 ns/op   32 B/op   2 allocs/op
+PASS
+`)
+	bms, err := parseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := bms["BenchmarkX"]
+	if !ok {
+		t.Fatalf("missing BenchmarkX (GOMAXPROCS suffix should be stripped): %v", bms)
+	}
+	if m.NsOp != 450 {
+		t.Errorf("fastest ns/op should win: got %v, want 450", m.NsOp)
+	}
+}

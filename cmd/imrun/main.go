@@ -119,7 +119,9 @@ func main() {
 			return tr.Report()
 		}))
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			tr.Metrics().WritePrometheus(w)
+			if err := tr.Metrics().WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
 		})
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {

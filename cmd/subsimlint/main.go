@@ -1,0 +1,110 @@
+// Command subsimlint runs the repository's project-invariant static
+// analyzers (see internal/lintpass) over Go packages and exits non-zero
+// when any invariant is violated.
+//
+// Standalone usage:
+//
+//	subsimlint ./...            # lint the whole module, human-readable
+//	subsimlint -json ./...      # machine-readable diagnostics
+//	subsimlint -list            # describe the analyzers and directives
+//
+// The tool is also a `go vet -vettool` compatible unit checker:
+//
+//	go build -o bin/subsimlint ./cmd/subsimlint
+//	go vet -vettool=bin/subsimlint ./...
+//
+// In vettool mode the go command hands the tool one pre-planned package
+// at a time (a *.cfg JSON file with source files and export data); see
+// vet.go for the protocol subset implemented.
+//
+// Exit codes: 0 clean, 1 diagnostics found, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"subsim/internal/lintpass"
+)
+
+func main() {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		list     = flag.Bool("list", false, "list analyzers and suppression classes, then exit")
+		vFlag    = flag.String("V", "", "print version information (vettool handshake)")
+		flagsOut = flag.Bool("flags", false, "print supported flags as JSON (vettool handshake)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: subsimlint [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch {
+	case *vFlag != "":
+		printVersion()
+		return
+	case *flagsOut:
+		fmt.Println("[]") // no analyzer flags are exposed to go vet
+		return
+	case *list:
+		printAnalyzers()
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetUnit(args[0]))
+	}
+
+	loader := lintpass.NewLoader()
+	pkgs, err := loader.Load(args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "subsimlint:", err)
+		os.Exit(2)
+	}
+	diags := lintpass.Run(pkgs, lintpass.All())
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lintpass.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "subsimlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "subsimlint: %d diagnostic(s) across %d package(s)\n", len(diags), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}
+
+func printAnalyzers() {
+	for _, a := range lintpass.All() {
+		fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("suppression: //lint:allow <class> [reason] on the offending or preceding line")
+	classes := lintpass.KnownClasses()
+	names := make([]string, 0, len(classes))
+	for c := range classes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	for _, c := range names {
+		fmt.Printf("  %-10s (%s)\n", c, classes[c])
+	}
+	fmt.Println("annotation:  //subsim:hotpath in a function doc comment opts it into hotpath-alloc")
+}

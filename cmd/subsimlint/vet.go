@@ -1,0 +1,179 @@
+// Vettool mode: the subset of the go vet unit-checker protocol that
+// subsimlint implements so `go vet -vettool=subsimlint ./...` works.
+//
+// The go command drives a vettool as follows:
+//
+//  1. `subsimlint -V=full` — print an identity line containing a build
+//     ID, used to key vet's result cache (see printVersion);
+//  2. `subsimlint -flags` — print a JSON array describing tool flags the
+//     go command may forward (subsimlint exposes none);
+//  3. per package: `subsimlint <unit>.cfg` — the cfg file carries the
+//     package's source files plus the export-data files of its
+//     dependencies. The tool type-checks from export data (no source
+//     re-analysis of dependencies), runs the analyzers, writes an
+//     (empty: subsimlint exchanges no facts) .vetx facts file, prints
+//     findings to stderr, and exits 2 when any were found.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"subsim/internal/lintpass"
+)
+
+// vetConfig is the unit-checker config the go command writes for each
+// package (the subset of fields subsimlint needs).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit checks one pre-planned package and returns the process exit
+// code (0 clean, 2 diagnostics, 1 protocol/type-check failure).
+func vetUnit(cfgPath string) int {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "subsimlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "subsimlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The facts file must exist even when empty, or the go command
+	// complains; subsimlint neither produces nor consumes facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "subsimlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// Match the CLI driver's scope: subsimlint's invariants target
+		// production algorithm code, not test assertions (tests do exact
+		// float compares and range over test-case maps on purpose). The
+		// go command hands vettools the `p [p.test]` and `p_test`
+		// variants too; analyzing them here would make the two driver
+		// modes disagree.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "subsimlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 { // external test package: nothing in scope
+		return 0
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: mappedImporter{cfg.ImportMap, base}}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "subsimlint: %s: type-check failed: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	dir := cfg.Dir
+	if dir == "" && len(cfg.GoFiles) > 0 {
+		dir = filepath.Dir(cfg.GoFiles[0])
+	}
+	pkg := &lintpass.Package{
+		Fset:  fset,
+		Dir:   dir,
+		Path:  cfg.ImportPath,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	diags := lintpass.Run([]*lintpass.Package{pkg}, lintpass.All())
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// mappedImporter canonicalises import paths through the unit config's
+// ImportMap (source import path → canonical package path) before
+// loading export data.
+type mappedImporter struct {
+	importMap map[string]string
+	base      types.Importer
+}
+
+func (m mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.base.Import(path)
+}
+
+// printVersion implements the `-V=full` handshake: the go command keys
+// its vet cache on the printed build ID, so hash the tool binary itself
+// — a rebuilt subsimlint invalidates cached vet results.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "subsimlint:", err)
+			}
+		}
+	}
+	fmt.Printf("subsimlint version devel buildID=%02x\n", h.Sum(nil))
+}

@@ -11,11 +11,11 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand/v2"
 	"os"
 	"text/tabwriter"
 
 	"subsim"
+	"subsim/internal/rng"
 )
 
 const (
@@ -91,17 +91,19 @@ func main() {
 
 // buildCommunityGraph hand-rolls the planted-community topology with the
 // public Builder API: one dense block followed by numSparse sparse
-// blocks, plus a sprinkle of cross-community edges.
+// blocks, plus a sprinkle of cross-community edges. Randomness comes
+// from the repo's seedable stream (internal/rng), not math/rand, so the
+// same seed reproduces the same communities on every Go release.
 func buildCommunityGraph() *subsim.Graph {
 	n := denseSize + numSparse*sparseSize
-	r := rand.New(rand.NewPCG(42, 7))
+	r := rng.New(42)
 	b := subsim.NewBuilder(n)
 	addBlock := func(start, size int, p float64) {
 		for u := start; u < start+size; u++ {
 			// Expected p·(size-1) targets per node, sampled directly.
-			targets := r.IntN(int(2*p*float64(size))) + 1
+			targets := r.Intn(int(2*p*float64(size))) + 1
 			for t := 0; t < targets; t++ {
-				v := start + r.IntN(size)
+				v := start + r.Intn(size)
 				if v == u {
 					continue
 				}
@@ -117,7 +119,7 @@ func buildCommunityGraph() *subsim.Graph {
 	// audience, the worst case for degree-chasing heuristics).
 	if crossCount := int(crossP * float64(n) * float64(n)); crossCount > 0 {
 		for i := 0; i < crossCount; i++ {
-			u, v := r.IntN(n), r.IntN(n)
+			u, v := r.Intn(n), r.Intn(n)
 			if u != v {
 				_ = b.AddEdge(int32(u), int32(v), 0)
 			}

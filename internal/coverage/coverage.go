@@ -121,7 +121,7 @@ func (x *Index) ensureIndexed() {
 	if x.indexed == total {
 		return
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow timing (feeds the index-build duration histogram only)
 
 	data := x.store.Data()
 	ends := x.store.Ends()
@@ -186,7 +186,7 @@ func (x *Index) ensureIndexed() {
 		x.covered = x.covered[:total]
 	}
 
-	x.buildHist.Observe(time.Since(start).Nanoseconds())
+	x.buildHist.Observe(time.Since(start).Nanoseconds()) //lint:allow timing (feeds the index-build duration histogram only)
 }
 
 // posting returns the CSR posting list of node v (the ids of the indexed
@@ -295,6 +295,10 @@ type celfHeap struct {
 
 func (h *celfHeap) Len() int { return len(h.entries) }
 
+// less orders entries by gain, then the optional out-degree tie-break,
+// then node id (a total order, so pops are deterministic).
+//
+//subsim:hotpath
 func (h *celfHeap) less(i, j int) bool {
 	a, b := h.entries[i], h.entries[j]
 	if a.gain != b.gain {
@@ -306,6 +310,9 @@ func (h *celfHeap) less(i, j int) bool {
 	return a.node < b.node
 }
 
+// swap exchanges two entries in place.
+//
+//subsim:hotpath
 func (h *celfHeap) swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
 
 // init establishes the heap invariant over the current entries in O(n).
@@ -316,6 +323,9 @@ func (h *celfHeap) init() {
 	}
 }
 
+// siftDown restores the invariant below i over the first n entries.
+//
+//subsim:hotpath
 func (h *celfHeap) siftDown(i, n int) {
 	for {
 		l := 2*i + 1
@@ -334,6 +344,9 @@ func (h *celfHeap) siftDown(i, n int) {
 	}
 }
 
+// siftUp restores the invariant above i.
+//
+//subsim:hotpath
 func (h *celfHeap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -346,12 +359,16 @@ func (h *celfHeap) siftUp(i int) {
 }
 
 // push adds an entry, keeping the invariant.
+//
+//subsim:hotpath
 func (h *celfHeap) push(e celfEntry) {
 	h.entries = append(h.entries, e)
 	h.siftUp(len(h.entries) - 1)
 }
 
 // pop removes and returns the maximum entry.
+//
+//subsim:hotpath
 func (h *celfHeap) pop() celfEntry {
 	n := len(h.entries) - 1
 	h.swap(0, n)
@@ -462,6 +479,8 @@ func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 
 // marginal returns the exact marginal coverage of v against the current
 // covered stamps.
+//
+//subsim:hotpath
 func (x *Index) marginal(v int32) int64 {
 	var g int64
 	for _, id := range x.posting(v) {

@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The graph readers parse untrusted bytes (downloaded edge lists,
+// cached binary snapshots), so they are fuzzed natively: any input may
+// be rejected with an error, but no input may panic, allocate
+// unboundedly off a forged header, or round-trip into a different
+// graph.
+
+// fuzzMaxInput bounds the raw input so the fuzzer explores structure,
+// not allocator throughput.
+const fuzzMaxInput = 1 << 16
+
+// fuzzMaxNodes bounds accepted node counts inside the fuzz targets:
+// Builder.Build allocates O(n) even for edge-free graphs, which is
+// legitimate for real datasets but an OOM vector under fuzzing.
+const fuzzMaxNodes = 1 << 20
+
+// textHeaderNodes extracts the node count a text input's header claims,
+// mirroring ReadText's comment/blank-line skipping.
+func textHeaderNodes(data []byte) (int, bool) {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			return 0, false
+		}
+		n, err := strconv.Atoi(fields[0])
+		return n, err == nil
+	}
+	return 0, false
+}
+
+func FuzzReadText(f *testing.F) {
+	f.Add([]byte("3 2\n0 1 0.5\n1 2 0.25\n"))
+	f.Add([]byte("# snap-style comment\n% konect-style comment\n2 1\n0 1\n"))
+	f.Add([]byte("5 0\n"))
+	f.Add([]byte("2 1\n0 1 1e-3\n"))
+	f.Add([]byte("4294967296 0\n")) // node count that silently truncated to 0 pre-fix
+	f.Add([]byte("-1 0\n"))         // negative node count used to panic in NewBuilder
+	f.Add([]byte("2 1\n0 1 NaN\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzMaxInput {
+			return
+		}
+		if n, ok := textHeaderNodes(data); ok && n > fuzzMaxNodes {
+			return
+		}
+		g, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs only need to fail cleanly
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteText(&buf); err != nil {
+			t.Fatalf("write-back: %v", err)
+		}
+		g2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse: %v", err)
+		}
+		requireSameGraph(t, g, g2, false)
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with genuine WriteBinary outputs of small graphs, plus a
+	// truncated and a header-forged variant.
+	for _, build := range []func() *Graph{
+		func() *Graph { return mustGraph(3, [][3]interface{}{{0, 1, 0.5}, {1, 2, 0.25}, {2, 0, 1.0}}) },
+		func() *Graph { return mustGraph(1, nil) },
+		func() *Graph { return mustGraph(4, [][3]interface{}{{0, 3, 0.125}}) },
+	} {
+		var buf bytes.Buffer
+		if err := build().WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 8 {
+			f.Add(buf.Bytes()[:buf.Len()/2]) // truncated
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzMaxInput {
+			return
+		}
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// ReadBinary validates internally; accepted graphs must
+		// round-trip bit-exactly, model included.
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatalf("write-back: %v", err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse: %v", err)
+		}
+		requireSameGraph(t, g, g2, true)
+	})
+}
+
+// mustGraph builds a small graph for seed corpora.
+func mustGraph(n int, edges [][3]interface{}) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(int32(e[0].(int)), int32(e[1].(int)), e[2].(float64)); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+// requireSameGraph asserts structural equality: same node count, same
+// out-adjacency (targets and weights, in CSR order), and — for the
+// binary format, which persists it — the same weight model.
+func requireSameGraph(t *testing.T, a, b *Graph, withModel bool) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)", a.N(), a.M(), b.N(), b.M())
+	}
+	if withModel && a.Model() != b.Model() {
+		t.Fatalf("model mismatch: %v vs %v", a.Model(), b.Model())
+	}
+	for v := int32(0); v < int32(a.N()); v++ {
+		at, ap := a.OutNeighbors(v)
+		bt, bp := b.OutNeighbors(v)
+		if len(at) != len(bt) {
+			t.Fatalf("node %d: out-degree %d vs %d", v, len(at), len(bt))
+		}
+		for j := range at {
+			if at[j] != bt[j] || ap[j] != bp[j] {
+				t.Fatalf("node %d edge %d: (%d,%g) vs (%d,%g)", v, j, at[j], ap[j], bt[j], bp[j])
+			}
+		}
+	}
+}
+
+// TestReadHeaderValidation pins the two crashers the fuzz targets found
+// while this harness was built: a node count beyond the int32 id range
+// silently truncated in the builder (2^32 parsed as an empty graph),
+// and a forged binary header claiming a huge edge count attempted the
+// full allocation before noticing the input was ten bytes long.
+func TestReadHeaderValidation(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("4294967296 0\n")); err == nil {
+		t.Fatal("node count 2^32 must be rejected, not truncated")
+	}
+	if _, err := ReadText(strings.NewReader("-7 0\n")); err == nil {
+		t.Fatal("negative node count must be rejected, not panic")
+	}
+
+	// Binary header: magic, n=1, m=2^50, model=0, then nothing.
+	var buf bytes.Buffer
+	g := mustGraph(1, nil)
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	forged := append([]byte(nil), buf.Bytes()[:32]...)
+	for i, b := range []byte{0, 0, 0, 0, 0, 0, 4, 0} { // little-endian 2^50
+		forged[16+i] = b
+	}
+	if _, err := ReadBinary(bytes.NewReader(forged)); err == nil {
+		t.Fatal("forged edge count with empty payload must be rejected")
+	}
+
+	// Unknown weight model id.
+	forged = append([]byte(nil), buf.Bytes()...)
+	forged[24] = 200
+	if _, err := ReadBinary(bytes.NewReader(forged)); err == nil {
+		t.Fatal("unknown weight model id must be rejected")
+	}
+}

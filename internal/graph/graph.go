@@ -151,10 +151,16 @@ type Builder struct {
 	edges []Edge
 }
 
-// NewBuilder returns a Builder for a graph with n nodes.
+// NewBuilder returns a Builder for a graph with n nodes. Node counts
+// outside the int32 id range are a programming error and panic; callers
+// parsing untrusted headers (the graph readers) validate and return an
+// error before reaching this.
 func NewBuilder(n int) *Builder {
 	if n < 0 {
 		panic("graph: negative node count")
+	}
+	if n > math.MaxInt32 {
+		panic("graph: node count exceeds int32 range")
 	}
 	return &Builder{n: int32(n)}
 }

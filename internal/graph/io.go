@@ -5,10 +5,17 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 )
+
+// maxNodes is the largest node count either reader accepts. Node ids are
+// int32 throughout the engine; a header beyond that range used to
+// truncate silently in the builder (a 2^32-node header parsed as an
+// empty graph), which fuzzing caught — see TestReadHeaderValidation.
+const maxNodes = math.MaxInt32
 
 // This file implements the on-disk graph formats:
 //
@@ -59,6 +66,9 @@ func ReadText(r io.Reader) (*Graph, error) {
 			n, err := strconv.Atoi(fields[0])
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: bad node count: %v", line, err)
+			}
+			if n < 0 || n > maxNodes {
+				return nil, fmt.Errorf("graph: line %d: node count %d outside [0, 2^31)", line, n)
 			}
 			if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
 				return nil, fmt.Errorf("graph: line %d: bad edge count: %v", line, err)
@@ -135,22 +145,28 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if hdr[0] != binaryMagic {
 		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
 	}
+	if hdr[1] > maxNodes {
+		return nil, fmt.Errorf("graph: header node count %d outside [0, 2^31)", hdr[1])
+	}
+	if hdr[2] > math.MaxInt64 {
+		return nil, fmt.Errorf("graph: header edge count %d overflows", hdr[2])
+	}
+	if hdr[3] > uint64(ModelLT) {
+		return nil, fmt.Errorf("graph: unknown weight model %d in header", hdr[3])
+	}
 	n := int(hdr[1])
 	m := int64(hdr[2])
-	if n < 0 || m < 0 {
-		return nil, fmt.Errorf("graph: negative sizes in header")
+	deg, err := readBlock[int64](br, int64(n), "degree")
+	if err != nil {
+		return nil, err
 	}
-	deg := make([]int64, n)
-	if err := binary.Read(br, binary.LittleEndian, deg); err != nil {
-		return nil, fmt.Errorf("graph: short degree block: %v", err)
+	adj, err := readBlock[int32](br, m, "adjacency")
+	if err != nil {
+		return nil, err
 	}
-	adj := make([]int32, m)
-	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
-		return nil, fmt.Errorf("graph: short adjacency block: %v", err)
-	}
-	w := make([]float64, m)
-	if err := binary.Read(br, binary.LittleEndian, w); err != nil {
-		return nil, fmt.Errorf("graph: short weight block: %v", err)
+	w, err := readBlock[float64](br, m, "weight")
+	if err != nil {
+		return nil, err
 	}
 	b := NewBuilder(n)
 	pos := int64(0)
@@ -174,6 +190,35 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// readBlock reads count little-endian values of a fixed-size type in
+// bounded chunks. Reading chunk-wise means a forged header claiming
+// trillions of edges fails with a short-read error after consuming at
+// most the real input, instead of attempting a multi-terabyte up-front
+// allocation — the other crasher class fuzzing found in this reader.
+func readBlock[T int32 | int64 | float64](br io.Reader, count int64, what string) ([]T, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("graph: negative %s count %d", what, count)
+	}
+	const chunk = 1 << 15
+	hint := count
+	if hint > chunk {
+		hint = chunk
+	}
+	out := make([]T, 0, hint)
+	buf := make([]T, chunk)
+	for int64(len(out)) < count {
+		k := count - int64(len(out))
+		if k > chunk {
+			k = chunk
+		}
+		if err := binary.Read(br, binary.LittleEndian, buf[:k]); err != nil {
+			return nil, fmt.Errorf("graph: short %s block: %v", what, err)
+		}
+		out = append(out, buf[:k]...)
+	}
+	return out, nil
 }
 
 // SaveFile writes the graph to path, choosing the binary format when the

@@ -304,6 +304,8 @@ func (b *Batcher) ResetStats() {
 // The sets are spliced from the per-worker arenas straight into the
 // index's flat store in global-index order — two contiguous appends per
 // set, no per-set allocation.
+//
+//subsim:hotpath
 func (b *Batcher) FillIndex(idx *coverage.Index, count int, sentinel []bool) (hits int64) {
 	if count <= 0 {
 		return 0

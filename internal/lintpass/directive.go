@@ -1,0 +1,217 @@
+package lintpass
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The directive grammar. Two namespaces exist:
+//
+//	//lint:allow <class> [reason...]   — suppress one diagnostic class on
+//	                                     this line or the next one
+//	//subsim:hotpath                   — mark the documented function as a
+//	                                     hot path for the hotpath-alloc
+//	                                     analyzer
+//
+// Directives are themselves linted (see the Directives analyzer): an
+// unknown verb, an unknown class, or a suppression that suppresses
+// nothing is an error, so the annotation layer cannot rot.
+const (
+	// ClassTiming suppresses nodeterminism findings for wall-clock reads
+	// that only feed span/metric timing, never algorithm output.
+	ClassTiming = "timing"
+	// ClassMapRange suppresses nodeterminism findings for map iteration
+	// whose order provably does not reach algorithm output.
+	ClassMapRange = "maprange"
+	// ClassFloatEq suppresses floateq findings for intentional exact
+	// floating-point comparisons (sentinel values, clamped endpoints).
+	ClassFloatEq = "floateq"
+	// ClassErrCheck suppresses errcheck findings for calls whose error is
+	// intentionally discarded.
+	ClassErrCheck = "errcheck"
+	// ClassAlloc suppresses hotpath-alloc findings for accepted
+	// allocations inside //subsim:hotpath functions.
+	ClassAlloc = "alloc"
+)
+
+// KnownClasses returns the suppression classes and the analyzers that
+// own them, for CLI help output.
+func KnownClasses() map[string]string {
+	out := make(map[string]string, len(knownClasses))
+	for c, a := range knownClasses {
+		out[c] = a
+	}
+	return out
+}
+
+// knownClasses maps each suppression class to the analyzer that owns it,
+// for the -list output and the stale-suppression check.
+var knownClasses = map[string]string{
+	ClassTiming:   "nodeterminism",
+	ClassMapRange: "nodeterminism",
+	ClassFloatEq:  "floateq",
+	ClassErrCheck: "errcheck",
+	ClassAlloc:    "hotpath-alloc",
+}
+
+// directive is one parsed //lint: or //subsim: comment.
+type directive struct {
+	pos   token.Pos
+	file  string
+	line  int
+	space string // "lint" or "subsim"
+	verb  string // "allow", "hotpath", ...
+	class string // suppression class for lint:allow
+	used  bool   // consumed by a suppression or attached to a func
+}
+
+// DirectiveSet holds every directive of one package plus the bookkeeping
+// the stale-suppression check needs: which classes the analyzers
+// actually evaluated for this package, and which directives fired.
+type DirectiveSet struct {
+	all     []*directive
+	allows  map[string][]*directive // file -> allow directives, any line
+	hotpath map[*ast.FuncDecl]*directive
+	checked map[string]bool // classes evaluated for this package
+}
+
+// newDirectiveSet parses the directives of the package files and
+// attaches //subsim:hotpath markers to their documented functions.
+func newDirectiveSet(fset *token.FileSet, files []*ast.File) *DirectiveSet {
+	ds := &DirectiveSet{
+		allows:  map[string][]*directive{},
+		hotpath: map[*ast.FuncDecl]*directive{},
+		checked: map[string]bool{},
+	}
+	byComment := map[*ast.Comment]*directive{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok { // /* ... */ comments never carry directives
+					continue
+				}
+				var space string
+				switch {
+				case strings.HasPrefix(text, "lint:"):
+					space = "lint"
+				case strings.HasPrefix(text, "subsim:"):
+					space = "subsim"
+				default:
+					continue
+				}
+				rest := strings.TrimPrefix(text, space+":")
+				fields := strings.Fields(rest)
+				d := &directive{pos: c.Pos(), space: space}
+				if len(fields) > 0 {
+					d.verb = fields[0]
+				}
+				if len(fields) > 1 {
+					d.class = fields[1]
+				}
+				pos := fset.Position(c.Pos())
+				d.file, d.line = pos.Filename, pos.Line
+				ds.all = append(ds.all, d)
+				byComment[c] = d
+				if d.space == "lint" && d.verb == "allow" {
+					ds.allows[d.file] = append(ds.allows[d.file], d)
+				}
+			}
+		}
+		// Attach hotpath markers to the functions they document.
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if d := byComment[c]; d != nil && d.space == "subsim" && d.verb == "hotpath" {
+					d.used = true
+					ds.hotpath[fn] = d
+				}
+			}
+		}
+	}
+	sort.Slice(ds.all, func(i, j int) bool {
+		if ds.all[i].file != ds.all[j].file {
+			return ds.all[i].file < ds.all[j].file
+		}
+		return ds.all[i].line < ds.all[j].line
+	})
+	return ds
+}
+
+// markChecked records that the analyzer owning class evaluated this
+// package, making unused `allow class` directives stale errors.
+func (ds *DirectiveSet) markChecked(class string) { ds.checked[class] = true }
+
+// suppress reports whether an allow directive for class covers the given
+// position (same line, or the immediately preceding line), marking the
+// directive used.
+func (ds *DirectiveSet) suppress(class string, pos token.Position) bool {
+	for _, d := range ds.allows[pos.Filename] {
+		if d.class != class {
+			continue
+		}
+		if d.line == pos.Line || d.line == pos.Line-1 {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// IsHotPath reports whether fn carries a //subsim:hotpath marker.
+func (ds *DirectiveSet) IsHotPath(fn *ast.FuncDecl) bool {
+	_, ok := ds.hotpath[fn]
+	return ok
+}
+
+// Directives is the hygiene analyzer: unknown or malformed //lint: and
+// //subsim: directives are errors, as are suppressions that no longer
+// suppress anything. It must run after the other analyzers (Run
+// guarantees the ordering).
+var Directives = &Analyzer{
+	Name: "directives",
+	Doc:  "flag unknown, malformed, misplaced, and stale //lint:/ //subsim: directives",
+	Run:  runDirectives,
+}
+
+func runDirectives(pass *Pass) {
+	for _, d := range pass.Directives.all {
+		switch {
+		case d.space == "lint" && d.verb == "allow":
+			if d.class == "" {
+				pass.Reportf(d.pos, "//lint:allow needs a suppression class (%s)", classList())
+				continue
+			}
+			owner, known := knownClasses[d.class]
+			if !known {
+				pass.Reportf(d.pos, "unknown suppression class %q in //lint:allow (%s)", d.class, classList())
+				continue
+			}
+			if !d.used && pass.Directives.checked[d.class] {
+				pass.Reportf(d.pos, "stale suppression: no %s diagnostic of class %q on this or the next line", owner, d.class)
+			}
+		case d.space == "lint":
+			pass.Reportf(d.pos, "unknown directive //lint:%s (only //lint:allow is defined)", d.verb)
+		case d.space == "subsim" && d.verb == "hotpath":
+			if !d.used {
+				pass.Reportf(d.pos, "//subsim:hotpath must appear in the doc comment of a function declaration")
+			}
+		case d.space == "subsim":
+			pass.Reportf(d.pos, "unknown directive //subsim:%s (only //subsim:hotpath is defined)", d.verb)
+		}
+	}
+}
+
+func classList() string {
+	names := make([]string, 0, len(knownClasses))
+	for c := range knownClasses {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	return "known: " + strings.Join(names, ", ")
+}

@@ -1,0 +1,120 @@
+package lintpass
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck is the lite unchecked-error analyzer: an expression statement
+// that calls a function returning an error silently drops it. The
+// "lite" carve-outs keep the signal high:
+//
+//   - explicit discards (`_ = f()`, `x, _ := f()`) are intentional and
+//     visible in review, so they pass;
+//   - `defer f.Close()`-style deferred calls pass (the idiomatic
+//     read-path cleanup; write paths in this repo double-Close and check
+//     the second one);
+//   - the fmt print family passes: terminal/print-stream write errors
+//     are conventionally unactionable, and buffered sinks (tabwriter,
+//     bufio) surface them at the Flush/Close calls this analyzer does
+//     check.
+//
+// Remaining findings can be waved through with //lint:allow errcheck.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flag silently dropped errors (expression-statement calls returning error) in non-test code",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	pass.Directives.markChecked(ClassErrCheck)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, drops := dropsError(pass, call); drops {
+				pass.Report(call.Pos(), ClassErrCheck,
+					"%s returns an error that is silently dropped; handle it or discard explicitly with `_ =` (or //lint:allow errcheck)", name)
+			}
+			return true
+		})
+	}
+}
+
+// dropsError reports whether call returns an error (alone or as the last
+// of several results) that the expression statement discards, and a
+// printable name for the callee. Exempt callees return false.
+func dropsError(pass *Pass, call *ast.CallExpr) (string, bool) {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return "", false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	if !isErrorType(last) {
+		return "", false
+	}
+	name := calleeName(pass, call)
+	if exemptErrCall(pass, call) {
+		return name, false
+	}
+	return name, true
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil // the universe error type
+}
+
+// fmtPrintFamily is the exempt set of fmt functions (see the analyzer
+// doc for the rationale).
+var fmtPrintFamily = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func exemptErrCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "fmt" && fmtPrintFamily[sel.Sel.Name]
+}
+
+// calleeName renders a readable callee for the diagnostic ("f", "x.M",
+// "pkg.F").
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

@@ -1,0 +1,68 @@
+package lintpass
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatEqPackages are the directory suffixes of the packages carrying
+// the concentration-bound and sampling arithmetic, where an exact
+// floating-point comparison is almost always a latent bug: Chen's note
+// on the IMM martingale analysis (PAPERS.md) is the canonical example of
+// a silently violated numeric assumption invalidating the 1-1/e-ε
+// guarantee. Intentional exact comparisons (IEEE sentinel values,
+// clamped endpoints) are suppressed with //lint:allow floateq.
+var floatEqPackages = []string{
+	"internal/bounds",
+	"internal/sampling",
+}
+
+// FloatEq flags == and != between floating-point operands in the bound
+// and sampling packages.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on floating-point values in the bound/sampling arithmetic packages",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	applies := false
+	for _, suffix := range floatEqPackages {
+		if pathHasSuffixDir(pass.Dir, suffix) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return
+	}
+	pass.Directives.markChecked(ClassFloatEq)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.Info.Types[be.X]
+			yt, yok := pass.Info.Types[be.Y]
+			if !xok || !yok || (!isFloat(xt.Type) && !isFloat(yt.Type)) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant-folded at compile time
+			}
+			pass.Report(be.OpPos, ClassFloatEq,
+				"floating-point %s comparison in bound/sampling arithmetic; compare with a tolerance or use math.Signbit/IsNaN (intentional exact compares: //lint:allow floateq)", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

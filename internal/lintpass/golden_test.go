@@ -1,0 +1,158 @@
+package lintpass
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The golden-fixture harness: every directory under testdata/src is one
+// fixture tree (possibly holding several packages, so directory-suffix
+// package filters like internal/rrset can be exercised). Each fixture is
+// loaded with the real loader, run through the full analyzer suite, and
+// compared against `want` markers embedded in the fixture comments:
+//
+//	bad() // want `regexp matching the diagnostic message`
+//
+// A marker matches exactly one diagnostic on its line; several markers
+// on one line match several diagnostics. Diagnostics without a matching
+// marker and markers without a matching diagnostic both fail the test,
+// so the fixtures are a complete positive AND negative specification:
+// a line without a marker asserts the analyzers stay silent there.
+//
+// `want-above` expects the diagnostic on the preceding line instead; it
+// exists for directives whose diagnostic depends on the directive
+// comment being textually bare (any trailing marker would change what
+// is being tested).
+var (
+	wantRe      = regexp.MustCompile("want `([^`]+)`")
+	wantAboveRe = regexp.MustCompile("want-above `([^`]+)`")
+)
+
+// wantMarker is one expectation parsed from a fixture comment.
+type wantMarker struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func TestGoldenFixtures(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("no fixtures: %v", err)
+	}
+	loader := NewLoader() // shared import cache across fixtures
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		fixture := e.Name()
+		t.Run(fixture, func(t *testing.T) {
+			dir := filepath.Join(root, fixture)
+			pkgs, err := loader.Load(dir + "/...")
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if len(pkgs) == 0 {
+				t.Fatalf("fixture %s holds no packages", fixture)
+			}
+			diags := Run(pkgs, All())
+			wants, err := collectWants(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstWants(t, diags, wants)
+		})
+	}
+}
+
+// collectWants scans every fixture .go file for want markers.
+func collectWants(dir string) ([]*wantMarker, error) {
+	var wants []*wantMarker
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			for _, m := range wantAboveRe.FindAllStringSubmatch(text, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want-above pattern %q: %v", path, line, m[1], err)
+				}
+				wants = append(wants, &wantMarker{file: path, line: line - 1, re: re})
+			}
+			for _, m := range wantRe.FindAllStringSubmatch(wantAboveRe.ReplaceAllString(text, ""), -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern %q: %v", path, line, m[1], err)
+				}
+				wants = append(wants, &wantMarker{file: path, line: line, re: re})
+			}
+		}
+		return sc.Err()
+	})
+	return wants, err
+}
+
+// checkAgainstWants performs the bidirectional match.
+func checkAgainstWants(t *testing.T, diags []Diagnostic, wants []*wantMarker) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.File || w.line != d.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want `%s`", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestDirectivesRunLast proves the Run reordering: stale-suppression
+// detection only works when the hygiene analyzer observes every other
+// analyzer's consumed directives, regardless of caller-supplied order.
+func TestDirectivesRunLast(t *testing.T) {
+	suite := All()
+	if suite[len(suite)-1].Name != Directives.Name {
+		t.Fatalf("All() must end with %s, got %s", Directives.Name, suite[len(suite)-1].Name)
+	}
+	names := make([]string, len(suite))
+	for i, a := range suite {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	for i := 1; i < len(names); i++ {
+		if names[i] == names[i-1] {
+			t.Fatalf("duplicate analyzer name %q", names[i])
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package lintpass is the repository's project-invariant static-analysis
+// driver: a small, stdlib-only analyzer framework (go/ast + go/types, no
+// golang.org/x/tools dependency) plus the six project-specific analyzers
+// that machine-enforce the conventions the test suite certifies but
+// nothing previously checked at the source level:
+//
+//   - nodeterminism: algorithm packages draw randomness only through
+//     internal/rng and never read the wall clock (TestPipelineEquivalence
+//     certifies byte-identical RR sets across worker counts; a stray
+//     math/rand or time.Now silently breaks that property).
+//   - hotpath-alloc: functions annotated //subsim:hotpath must stay free
+//     of interface boxing, capturing closures, appends to unsized local
+//     slices, and fmt calls (the arena pipeline's 0 allocs/set contract).
+//   - niltracer: exported functions accepting the obs tracer/metric types
+//     must be provably nil-safe before the first dereference (the
+//     nil-tracer zero-overhead contract).
+//   - floateq: no ==/!= on floating-point values in the concentration
+//     bound and sampling arithmetic.
+//   - errcheck: no silently dropped errors in non-test code.
+//   - directives: every //lint: and //subsim: directive must be known,
+//     well-formed, and actually used — stale suppressions are errors.
+//
+// Suppressions are line-scoped: `//lint:allow <class> [reason]` on the
+// offending line or the line above it. See DESIGN.md, "Enforced
+// invariants".
+package lintpass
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding, positioned in the file set the
+// package was loaded with.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+	// Class is the suppression class a //lint:allow directive can name;
+	// empty for findings that must be fixed, not suppressed.
+	Class string `json:"class,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI output.
+	Name string
+	// Doc is a one-line description shown by `subsimlint -list`.
+	Doc string
+	// Run inspects the package behind pass and reports findings through
+	// pass.Report / pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer's view of one loaded package.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	Dir        string // package directory (absolute)
+	Path       string // import path within the module
+	Directives *DirectiveSet
+
+	sink *[]Diagnostic
+}
+
+// Reportf reports a non-suppressible finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, "", format, args...)
+}
+
+// Report reports a finding at pos that may be suppressed by a
+// `//lint:allow class` directive on the same or the preceding line.
+// Suppressed findings are dropped and the directive is marked used (an
+// unused directive is a stale-suppression error, see the directives
+// analyzer).
+func (p *Pass) Report(pos token.Pos, class, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if class != "" && p.Directives.suppress(class, position) {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+		Class:    class,
+	})
+}
+
+// All returns the full analyzer suite in execution order. The directives
+// analyzer is last by construction: stale-suppression detection needs
+// every other analyzer to have claimed its directives first.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoDeterminism,
+		HotPathAlloc,
+		NilTracer,
+		FloatEq,
+		ErrCheck,
+		Directives,
+	}
+}
+
+// Run executes the analyzers over the loaded packages and returns the
+// combined findings sorted by position. The directives analyzer, when
+// present, is always moved to the end of the per-package run so it can
+// see which suppressions were consumed.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ordered := make([]*Analyzer, 0, len(analyzers))
+	var hygiene *Analyzer
+	for _, a := range analyzers {
+		if a.Name == Directives.Name {
+			hygiene = a
+			continue
+		}
+		ordered = append(ordered, a)
+	}
+	if hygiene != nil {
+		ordered = append(ordered, hygiene)
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ds := newDirectiveSet(pkg.Fset, pkg.Files)
+		for _, a := range ordered {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				Dir:        pkg.Dir,
+				Path:       pkg.Path,
+				Directives: ds,
+				sink:       &out,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -1,0 +1,218 @@
+package lintpass
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, the unit the analyzers
+// operate on. Test files (*_test.go) are excluded: the invariants the
+// suite enforces are production-code invariants, and external test
+// packages would complicate the single-package type-check for no gain.
+type Package struct {
+	Fset  *token.FileSet
+	Dir   string
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without golang.org/x/tools: it
+// walks directories itself and resolves imports through the stdlib
+// source importer (go/importer "source"), which type-checks dependencies
+// from source and is module-aware via go/build. One Loader shares a file
+// set and an import cache across every package it loads, so the stdlib
+// is only type-checked once per process.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a loader with a fresh file set and import cache.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Load expands the go-style package patterns (a directory, or a
+// directory suffixed /... for a recursive walk) relative to the current
+// working directory and loads every matched package. Directories named
+// testdata, hidden directories, and directories without non-test Go
+// files are skipped, mirroring the go tool's matching rules.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		root, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			dirs[root] = true
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir, returning
+// nil (no error) when the directory holds no non-test Go files.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	path, err := importPath(abs)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: type-check failed: %w", path, err)
+	}
+	return &Package{
+		Fset:  l.Fset,
+		Dir:   abs,
+		Path:  path,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// importPath derives the import path of dir by locating the enclosing
+// go.mod and joining its module path with the relative directory.
+func importPath(dir string) (string, error) {
+	root := dir
+	for {
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err == nil {
+			mod := modulePath(data)
+			if mod == "" {
+				return "", fmt.Errorf("%s: no module line in go.mod", root)
+			}
+			rel, err := filepath.Rel(root, dir)
+			if err != nil {
+				return "", err
+			}
+			if rel == "." {
+				return mod, nil
+			}
+			return mod + "/" + filepath.ToSlash(rel), nil
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			// Outside any module: fall back to the directory path, which
+			// keeps positions and package-scoping checks working.
+			return filepath.ToSlash(dir), nil
+		}
+		root = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			return strings.Trim(rest, `"`)
+		}
+	}
+	return ""
+}
+
+// pathHasSuffixDir reports whether the slash-normalised directory path
+// ends with the given slash-separated path suffix on a path-segment
+// boundary ("…/internal/rrset" matches suffix "internal/rrset",
+// "…/notinternal/rrset" does not).
+func pathHasSuffixDir(dir, suffix string) bool {
+	d := filepath.ToSlash(dir)
+	if !strings.HasSuffix(d, suffix) {
+		return false
+	}
+	rest := strings.TrimSuffix(d, suffix)
+	return rest == "" || strings.HasSuffix(rest, "/")
+}

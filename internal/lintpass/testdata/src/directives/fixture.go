@@ -1,0 +1,33 @@
+// Package directives is the directive-hygiene golden fixture: unknown
+// verbs, unknown classes, misplaced markers, and stale suppressions are
+// all errors; an unused suppression whose class was never evaluated in
+// this package is NOT stale.
+package directives
+
+//lint:allow bogus (no such class) // want `unknown suppression class "bogus"`
+var a = 1
+
+//lint:forbid timing // want `unknown directive //lint:forbid`
+var b = 2
+
+//subsim:coldpath // want `unknown directive //subsim:coldpath`
+var c = 3
+
+//subsim:hotpath // want `//subsim:hotpath must appear in the doc comment of a function declaration`
+var d = 4
+
+//lint:allow
+// want-above `//lint:allow needs a suppression class`
+var e = 5
+
+//lint:allow errcheck (stale: nothing here drops an error) // want `stale suppression: no errcheck diagnostic of class "errcheck"`
+var f = 6
+
+// The timing class is owned by nodeterminism, which never evaluates
+// this package (not an algorithm directory), so this unused suppression
+// is silently tolerated rather than reported stale.
+//
+//lint:allow timing (class unchecked in this package)
+var g = 7
+
+var _ = []int{a, b, c, d, e, f, g}

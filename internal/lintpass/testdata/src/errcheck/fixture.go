@@ -1,0 +1,54 @@
+// Package errcheck is the errcheck golden fixture: expression-statement
+// calls that drop errors, against the lite carve-outs (explicit
+// discards, deferred cleanup, the fmt print family).
+package errcheck
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// Drop silently drops the error.
+func Drop(path string) {
+	os.Remove(path) // want `os.Remove returns an error that is silently dropped`
+}
+
+// DropTuple drops a value-and-error pair via an expression statement.
+func DropTuple(s string) {
+	strconv.Atoi(s) // want `strconv.Atoi returns an error that is silently dropped`
+}
+
+// Discard discards explicitly: visible in review, allowed.
+func Discard(path string) {
+	_ = os.Remove(path)
+}
+
+// Print uses the exempt fmt print family.
+func Print(v int) {
+	fmt.Println(v)
+}
+
+// Deferred cleanup close is exempt (DeferStmt, not ExprStmt).
+func Deferred(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// Waved suppresses a best-effort cleanup.
+func Waved(path string) {
+	//lint:allow errcheck (fixture: best-effort cleanup)
+	os.Remove(path)
+}
+
+// Handled checks the error: no finding.
+func Handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}

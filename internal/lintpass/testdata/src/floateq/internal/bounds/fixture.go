@@ -1,0 +1,36 @@
+// Package bounds is the floateq golden fixture; the directory suffix
+// internal/bounds places it inside the bound/sampling arithmetic set
+// where exact floating-point comparison is forbidden.
+package bounds
+
+import "math"
+
+// Converged compares floats exactly.
+func Converged(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// Different compares floats exactly with !=.
+func Different(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+// MixedConst compares a variable against a constant: still a finding
+// (only fully constant-folded comparisons are exempt).
+func MixedConst(x float64) bool {
+	return x == 0.5 // want `floating-point == comparison`
+}
+
+// Sentinel is the allowlisted exact compare against an IEEE sentinel.
+func Sentinel(x float64) bool {
+	return x == math.Inf(-1) //lint:allow floateq (fixture: IEEE sentinel value)
+}
+
+// IntEq compares integers; not a finding.
+func IntEq(a, b int) bool { return a == b }
+
+// constFolded is a fully constant comparison, folded at compile time.
+const constFolded = 1.0 == 2.0
+
+//lint:allow floateq (fixture: stale, suppresses nothing) // want `stale suppression: no floateq diagnostic of class "floateq"`
+var staleAnchor = 0.5

@@ -1,0 +1,73 @@
+// Package hotpath is the hotpath-alloc golden fixture: the four
+// forbidden allocation patterns inside //subsim:hotpath functions, the
+// allowed arena/scratch patterns, and the cold-function negative.
+package hotpath
+
+import "fmt"
+
+// sink consumes an interface argument (the boxing boundary).
+func sink(v any) { _ = v }
+
+// process is marked hot and exhibits all four forbidden patterns.
+//
+//subsim:hotpath
+func process(data []int32, scratch []int32) []int32 {
+	var grown []int32
+	for _, v := range data {
+		grown = append(grown, v) // want `append to unsized local slice "grown"`
+		scratch = append(scratch, v)
+	}
+	sized := make([]int32, 0, len(data))
+	for _, v := range data {
+		sized = append(sized, v)
+	}
+	fmt.Println(len(sized)) // want `fmt.Println in hot-path function process`
+	sink(len(data))         // want `passing int as interface`
+	n := 0
+	f := func() { n++ } // want `closure capturing "n" in hot-path function process`
+	f()
+	return grown
+}
+
+// cold exhibits the same patterns without the annotation: no findings,
+// proving the analyzer is scoped to annotated functions.
+func cold(data []int32) []int32 {
+	var grown []int32
+	for _, v := range data {
+		grown = append(grown, v)
+	}
+	fmt.Println(len(grown))
+	sink(len(data))
+	return grown
+}
+
+// waved is hot but suppresses an accepted one-off allocation.
+//
+//subsim:hotpath
+func waved(data []int32) []int32 {
+	var out []int32
+	//lint:allow alloc (fixture: accepted one-off allocation)
+	out = append(out, data...)
+	return out
+}
+
+// hoisted shows the allowed forms: capture-free literal, interface
+// already at the boundary, sized locals.
+//
+//subsim:hotpath
+func hoisted(data []int32, v any) int {
+	f := func(x int32) int32 { return x * 2 }
+	sink(v) // v is already an interface: no boxing
+	total := 0
+	for _, x := range data {
+		total += int(f(x))
+	}
+	return total
+}
+
+var (
+	_ = process
+	_ = cold
+	_ = waved
+	_ = hoisted
+)

@@ -1,0 +1,57 @@
+// Package obs is the niltracer golden fixture: its directory suffix
+// internal/obs makes the Tracer and Span types tracked under the
+// nil-tracer contract, so every exported function or method taking a
+// pointer to them must be nil-safe before the first dereference.
+package obs
+
+// Tracer is the fixture stand-in for the real tracer.
+type Tracer struct {
+	names []string
+}
+
+// Span is the fixture stand-in for a span.
+type Span struct {
+	name string
+}
+
+// Bad dereferences a field before any nil check.
+func Bad(t *Tracer) int {
+	return len(t.names) // want `access to field names`
+}
+
+// Clone dereferences the pointer explicitly without a guard.
+func (t *Tracer) Clone() Tracer {
+	return *t // want `explicit dereference`
+}
+
+// Good guards with the early-return idiom.
+func Good(t *Tracer) int {
+	if t == nil {
+		return 0
+	}
+	return len(t.names)
+}
+
+// Name uses the idiomatic single-line short-circuit guard: the right
+// operand of || only evaluates when s is non-nil.
+func (s *Span) Name() string {
+	if s == nil || s.name == "" {
+		return "anon"
+	}
+	return s.name
+}
+
+// Branch guards one arm only; the deref in the guarded arm passes, the
+// fall-through deref fails.
+func Branch(t *Tracer, on bool) int {
+	if t != nil && on {
+		return len(t.names)
+	}
+	return len(t.names) // want `access to field names`
+}
+
+// helper is unexported: outside the contract, callers inside the
+// package guard at the boundary.
+func helper(t *Tracer) int { return len(t.names) }
+
+var _ = helper

@@ -1,0 +1,53 @@
+// Package rrset is the nodeterminism golden fixture; the directory
+// suffix internal/rrset places it inside the deterministic algorithm
+// set, where math/rand imports, wall-clock reads, and map iteration are
+// forbidden.
+package rrset
+
+import (
+	"math/rand" // want `import of math/rand in a deterministic algorithm package`
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock without an allowlist entry.
+func Clock() int64 {
+	t := time.Now() // want `time.Now in a deterministic algorithm package`
+	return t.UnixNano()
+}
+
+// Span reads the wall clock for timing only, with the allowlisted form:
+// suppressed on the same line and on the preceding line.
+func Span() time.Duration {
+	start := time.Now() //lint:allow timing (fixture: span timing only)
+	//lint:allow timing (fixture: span timing only)
+	return time.Since(start)
+}
+
+// Sum iterates a map; the runtime-randomised order reaches the output.
+func Sum(m map[int]int) int {
+	s := 0
+	for k, v := range m { // want `map iteration in a deterministic algorithm package`
+		s += k * v
+	}
+	return s
+}
+
+// Keys collects map keys and sorts them, the allowlisted
+// order-independent pattern.
+func Keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	//lint:allow maprange (fixture: sorted after collection)
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Shuffle draws from the forbidden global stream (the import itself is
+// the finding; the call sites need no separate diagnostic).
+func Shuffle(n int) int { return rand.Intn(n) }
+
+//lint:allow timing (fixture: stale, suppresses nothing) // want `stale suppression: no nodeterminism diagnostic of class "timing"`
+var staleAnchor = 0

@@ -69,12 +69,18 @@ func (sb *SubsimBucketed) Generate(r *rng.Source, root int32, sentinel []bool) R
 
 // GenerateInto appends the RR set of root to the arena — the
 // allocation-free hot path.
+//
+//subsim:hotpath
 func (sb *SubsimBucketed) GenerateInto(a *Arena, r *rng.Source, root int32, sentinel []bool) []int32 {
 	start := a.start()
 	a.commit(sb.generate(r, root, sentinel, a.data))
 	return a.data[start:]
 }
 
+// generate runs the reverse traversal with bucketed subset sampling,
+// appending into buf.
+//
+//subsim:hotpath
 func (sb *SubsimBucketed) generate(r *rng.Source, root int32, sentinel []bool, buf []int32) []int32 {
 	base := len(buf)
 	set, done := sb.t.begin(root, sentinel, buf)
@@ -93,6 +99,7 @@ func (sb *SubsimBucketed) generate(r *rng.Source, root int32, sentinel []bool, b
 		sources, _ := g.InNeighbors(u)
 		stop := false
 		sb.stats.EdgesExamined++
+		//lint:allow alloc (yield closure per activated node; escape analysis keeps it off the heap when Sample does not retain it)
 		sampler.Sample(r, func(i int) bool {
 			sb.stats.EdgesExamined++
 			w := sources[i]

@@ -56,6 +56,8 @@ func (ig *Instrumented) Generate(r *rng.Source, root int32, sentinel []bool) RRS
 
 // GenerateInto delegates to the wrapped generator's arena path and
 // records the per-set deltas of its counters.
+//
+//subsim:hotpath
 func (ig *Instrumented) GenerateInto(a *Arena, r *rng.Source, root int32, sentinel []bool) []int32 {
 	before := ig.gen.Stats()
 	set := ig.gen.GenerateInto(a, r, root, sentinel)

@@ -58,12 +58,17 @@ func (lt *LT) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
 
 // GenerateInto appends the RR set of root to the arena — the
 // allocation-free hot path.
+//
+//subsim:hotpath
 func (lt *LT) GenerateInto(a *Arena, r *rng.Source, root int32, sentinel []bool) []int32 {
 	start := a.start()
 	a.commit(lt.generate(r, root, sentinel, a.data))
 	return a.data[start:]
 }
 
+// generate runs the reverse random walk, appending into buf.
+//
+//subsim:hotpath
 func (lt *LT) generate(r *rng.Source, root int32, sentinel []bool, buf []int32) []int32 {
 	base := len(buf)
 	set, done := lt.t.begin(root, sentinel, buf)

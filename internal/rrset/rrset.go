@@ -115,6 +115,8 @@ func GenerateRandom(gen Generator, r *rng.Source, sentinel []bool) RRSet {
 
 // GenerateRandomInto draws a uniform root and appends its RR set to the
 // arena, returning a transient view.
+//
+//subsim:hotpath
 func GenerateRandomInto(gen Generator, a *Arena, r *rng.Source, sentinel []bool) []int32 {
 	return gen.GenerateInto(a, r, RandomRoot(r, gen.Graph()), sentinel)
 }
@@ -199,6 +201,8 @@ func (t *traversal) begin(root int32, sentinel []bool, buf []int32) (set []int32
 
 // activate marks w visited and appends it to set and queue. It reports
 // whether the whole traversal must stop because w is a sentinel.
+//
+//subsim:hotpath
 func (t *traversal) activate(w int32, sentinel []bool, set *[]int32) (stop bool) {
 	t.visited[w] = t.epoch
 	*set = append(*set, w)

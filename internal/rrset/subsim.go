@@ -129,12 +129,18 @@ func (s *Subsim) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
 
 // GenerateInto appends the RR set of root to the arena — the
 // allocation-free hot path.
+//
+//subsim:hotpath
 func (s *Subsim) GenerateInto(a *Arena, r *rng.Source, root int32, sentinel []bool) []int32 {
 	start := a.start()
 	a.commit(s.generate(r, root, sentinel, a.data))
 	return a.data[start:]
 }
 
+// generate dispatches to the uniform or sorted traversal, appending
+// into buf.
+//
+//subsim:hotpath
 func (s *Subsim) generate(r *rng.Source, root int32, sentinel []bool, buf []int32) []int32 {
 	base := len(buf)
 	set, done := s.t.begin(root, sentinel, buf)
@@ -154,6 +160,8 @@ func (s *Subsim) generate(r *rng.Source, root int32, sentinel []bool, buf []int3
 
 // firstLanding converts a uniform u < touched into the 1-indexed position
 // of the first landing of a Bernoulli(p) scan, clamped to [1, size].
+//
+//subsim:hotpath
 func firstLanding(u, logHead float64, size int64) int64 {
 	if math.IsInf(logHead, -1) {
 		return 1
@@ -171,6 +179,8 @@ func firstLanding(u, logHead float64, size int64) int64 {
 // generateUniform is the Algorithm 3 fast path: one geometric skip stream
 // per activated node, entered only when a single uniform says the node's
 // in-neighbor scan produces at least one landing.
+//
+//subsim:hotpath
 func (s *Subsim) generateUniform(r *rng.Source, g *graph.Graph, sentinel []bool, set *[]int32) {
 	for len(s.t.queue) > 0 {
 		u := s.t.queue[len(s.t.queue)-1]
@@ -210,6 +220,8 @@ func (s *Subsim) generateUniform(r *rng.Source, g *graph.Graph, sentinel []bool,
 
 // generateSorted is the Section 3.3 index-free general-IC path over
 // descending-sorted in-edges, with per-bucket first-landing shortcuts.
+//
+//subsim:hotpath
 func (s *Subsim) generateSorted(r *rng.Source, g *graph.Graph, sentinel []bool, set *[]int32) {
 	for len(s.t.queue) > 0 {
 		u := s.t.queue[len(s.t.queue)-1]

@@ -44,12 +44,17 @@ func (v *Vanilla) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
 
 // GenerateInto appends the RR set of root to the arena — the
 // allocation-free hot path.
+//
+//subsim:hotpath
 func (v *Vanilla) GenerateInto(a *Arena, r *rng.Source, root int32, sentinel []bool) []int32 {
 	start := a.start()
 	a.commit(v.generate(r, root, sentinel, a.data))
 	return a.data[start:]
 }
 
+// generate runs the reverse stochastic BFS, appending into buf.
+//
+//subsim:hotpath
 func (v *Vanilla) generate(r *rng.Source, root int32, sentinel []bool, buf []int32) []int32 {
 	base := len(buf)
 	set, done := v.t.begin(root, sentinel, buf)

@@ -150,6 +150,8 @@ func (b *Bucketed) Mu() float64 {
 // Sample draws one independent subset, yielding each element index with
 // its configured probability. Yield follows the range-over-func
 // convention: returning false stops the draw early.
+//
+//subsim:hotpath
 func (b *Bucketed) Sample(r *rng.Source, yield func(int) bool) {
 	if b.jump == nil {
 		for i := range b.buckets {
@@ -185,6 +187,8 @@ func (b *Bucketed) Sample(r *rng.Source, yield func(int) bool) {
 // scan performs the plain geometric-skip pass over the bucket starting at
 // element offset `from`. It reports false when yield requested an early
 // stop.
+//
+//subsim:hotpath
 func (bk *bucket) scan(r *rng.Source, yield func(int) bool, from int) bool {
 	s := len(bk.idx)
 	if from >= s {
@@ -213,6 +217,8 @@ func (bk *bucket) scan(r *rng.Source, yield func(int) bool, from int) bool {
 
 // firstLanding draws the 0-based offset of the first geometric landing in
 // the bucket, conditioned on at least one landing occurring.
+//
+//subsim:hotpath
 func (bk *bucket) firstLanding(r *rng.Source) int {
 	if bk.bound >= 1 {
 		return 0

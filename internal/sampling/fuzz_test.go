@@ -1,0 +1,114 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"subsim/internal/rng"
+)
+
+// FuzzBucketedSampler drives the bucketed subset sampler (both the plain
+// and jump-chain variants) over arbitrary probability vectors and
+// asserts its structural preconditions and sampling invariants:
+//
+//   - construction partitions exactly the positive-probability elements
+//     into buckets, every probability dominated by its bucket's bound
+//     (the sorted-order precondition geometric thinning relies on:
+//     accepting with p/bound must be a probability);
+//   - every yielded index is in range, refers to a positive-probability
+//     element, and is yielded at most once per draw (geometric skips
+//     are >= 1 and buckets are disjoint);
+//   - an early-stopping yield terminates the draw without panicking.
+func FuzzBucketedSampler(f *testing.F) {
+	f.Add(uint64(1), []byte{255, 128, 64, 1})
+	f.Add(uint64(2020), []byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add(uint64(7), []byte{255})
+	f.Add(uint64(9), []byte{0, 0, 255, 0})
+	f.Add(uint64(42), []byte{})
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		if len(raw) > 512 {
+			return
+		}
+		probs := make([]float64, len(raw))
+		positive := 0
+		for i, b := range raw {
+			probs[i] = float64(b) / 255
+			if probs[i] > 0 {
+				positive++
+			}
+		}
+		for _, s := range []*Bucketed{NewBucketed(probs), NewBucketedJump(probs)} {
+			if s.H() != len(probs) {
+				t.Fatalf("H() = %d, want %d", s.H(), len(probs))
+			}
+			checkBucketInvariants(t, s, probs, positive)
+			r := rng.New(seed)
+			for trial := 0; trial < 8; trial++ {
+				seen := make(map[int]bool)
+				s.Sample(r, func(i int) bool {
+					if i < 0 || i >= len(probs) {
+						t.Fatalf("yielded index %d outside [0,%d)", i, len(probs))
+					}
+					if probs[i] <= 0 {
+						t.Fatalf("yielded zero-probability element %d", i)
+					}
+					if seen[i] {
+						t.Fatalf("element %d yielded twice in one draw", i)
+					}
+					seen[i] = true
+					return true
+				})
+			}
+			// Early stop after the first yield must not panic or loop.
+			s.Sample(r, func(int) bool { return false })
+		}
+	})
+}
+
+// checkBucketInvariants asserts the preprocessed structure is coherent.
+func checkBucketInvariants(t *testing.T, s *Bucketed, probs []float64, positive int) {
+	t.Helper()
+	total := 0
+	prevBound := math.Inf(1)
+	for k, bk := range s.buckets {
+		if len(bk.idx) != len(bk.p) {
+			t.Fatalf("bucket %d: idx/p length mismatch %d vs %d", k, len(bk.idx), len(bk.p))
+		}
+		if len(bk.idx) == 0 {
+			t.Fatalf("bucket %d: empty buckets must be dropped at construction", k)
+		}
+		if bk.bound <= 0 || bk.bound > 1 {
+			t.Fatalf("bucket %d: bound %g outside (0,1]", k, bk.bound)
+		}
+		if bk.bound >= prevBound {
+			t.Fatalf("bucket %d: bounds must strictly decrease (%g after %g)", k, bk.bound, prevBound)
+		}
+		prevBound = bk.bound
+		if bk.touched < 0 || bk.touched > 1 {
+			t.Fatalf("bucket %d: touched probability %g outside [0,1]", k, bk.touched)
+		}
+		for j, i := range bk.idx {
+			if int(i) < 0 || int(i) >= len(probs) {
+				t.Fatalf("bucket %d: element index %d outside [0,%d)", k, i, len(probs))
+			}
+			// Stored probabilities must be bit-identical copies of the
+			// input; an approximate compare would mask a copy bug.
+			if bk.p[j] != probs[i] {
+				t.Fatalf("bucket %d: stored p %g != probs[%d] = %g", k, bk.p[j], i, probs[i])
+			}
+			if bk.p[j] <= 0 {
+				t.Fatalf("bucket %d: zero-probability element %d retained", k, i)
+			}
+			if bk.p[j] > bk.bound {
+				t.Fatalf("bucket %d: p %g exceeds bucket bound %g (thinning acceptance > 1)", k, bk.p[j], bk.bound)
+			}
+		}
+		total += len(bk.idx)
+	}
+	if total != positive {
+		t.Fatalf("buckets hold %d elements, want %d positive-probability inputs", total, positive)
+	}
+	if s.jump != nil && len(s.jump) != len(s.buckets) {
+		t.Fatalf("jump chain length %d != bucket count %d", len(s.jump), len(s.buckets))
+	}
+}
