@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vet-strict fuzz-smoke test test-alloc race cover bench bench-json benchcmp benchcheck benchobs examples experiments quick clean
+.PHONY: all build vet lint vet-strict fuzz-smoke test test-alloc race cover bench bench-json bench-scale benchcmp benchcheck benchobs examples experiments quick clean
 
 all: build vet lint test test-alloc race
 
@@ -37,9 +37,12 @@ test:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 
 # Allocation-regression gate: the generate→store→index pipeline must
-# stay allocation-free per RR set in steady state (see BENCH_rrset.json).
+# stay allocation-free per RR set in steady state (see BENCH_rrset.json),
+# including across repeated FillIndex→SelectSeeds rounds (the CSR double
+# buffers and selection scratch are reused, not reallocated).
 test-alloc:
-	$(GO) test ./internal/im -run 'AllocFree|AmortizedAllocs' -v
+	$(GO) test ./internal/im -run 'AllocFree|AmortizedAllocs|RoundsAllocs' -v
+	$(GO) test ./internal/coverage -run 'ScratchReuse' -v
 
 race:
 	$(GO) test -race ./...
@@ -73,6 +76,22 @@ benchcmp:
 benchcheck:
 	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -check arena-csr,current
 
+# Worker-scaling suite for the parallel coverage pipeline: the
+# phase-split benchmarks (arena→store splice, delta CSR index build,
+# first CELF round) at workers 1/4/8 plus the end-to-end RR-pipeline
+# shapes, recorded under the "parallel-cover" label. The regression gate
+# pins only the serial (_W1) variants against the arena-csr baseline —
+# those are machine-independent, while the W4/W8-vs-W1 ratios depend on
+# the recording host's core count (on a single core they measure pure
+# partitioning overhead and stay informational).
+BENCH_SCALE_IM = BenchmarkSplice_|$(BENCH_RR)
+BENCH_SCALE_COV = BenchmarkIndexBuild_|BenchmarkSelectGains_
+bench-scale:
+	$(GO) test ./internal/im -run '^$$' -bench '$(BENCH_SCALE_IM)' -benchmem 2>&1 | tee bench_scale.txt
+	$(GO) test ./internal/coverage -run '^$$' -bench '$(BENCH_SCALE_COV)' -benchmem 2>&1 | tee -a bench_scale.txt
+	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label parallel-cover bench_scale.txt
+	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -check arena-csr,parallel-cover -filter '_W1$$'
+
 # Observability overhead: bare vs nil-wrapped vs metrics-on RR generation.
 benchobs:
 	$(GO) test ./internal/rrset -run '^$$' -bench InstrumentedGenerate -benchmem -count 3
@@ -93,5 +112,5 @@ quick:
 	$(GO) run ./cmd/imbench -quick
 
 clean:
-	rm -f test_output.txt bench_output.txt bench_rrset.txt imbench graph.bin
+	rm -f test_output.txt bench_output.txt bench_rrset.txt bench_scale.txt imbench graph.bin
 	rm -rf bin

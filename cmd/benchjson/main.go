@@ -21,6 +21,12 @@
 //	    is more than -tolerance percent (default 15) slower than in the
 //	    first. Intended for CI / make targets.
 //
+//	benchjson ... -check old,new -filter '_W1$'
+//	    Restrict -compare/-check to benchmark names matching the regexp.
+//	    Lets a gate pin only the machine-independent benchmarks (e.g. the
+//	    serial _W1 variants) while worker-scaling variants, whose numbers
+//	    depend on the recording host's core count, stay informational.
+//
 // When a benchmark appears multiple times (e.g. -count 3), the fastest
 // ns/op line is kept, following the usual "best observed time" bench
 // convention. The trailing -N GOMAXPROCS suffix is stripped from names
@@ -34,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -71,16 +78,17 @@ func main() {
 		compare = flag.String("compare", "", "compare two recorded labels, \"old,new\"")
 		check   = flag.String("check", "", "like -compare, but fail when \"new\" regresses vs \"old\"")
 		tol     = flag.Float64("tolerance", 15, "allowed ns/op regression percentage for -check")
+		filter  = flag.String("filter", "", "regexp restricting -compare/-check to matching benchmark names")
 		list    = flag.Bool("list", false, "list recorded runs")
 	)
 	flag.Parse()
-	if err := run(*path, *label, *compare, *check, *tol, *list, flag.Args()); err != nil {
+	if err := run(*path, *label, *compare, *check, *tol, *filter, *list, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, label, compare, check string, tol float64, list bool, args []string) error {
+func run(path, label, compare, check string, tol float64, filter string, list bool, args []string) error {
 	f, err := load(path)
 	if err != nil {
 		return err
@@ -107,6 +115,13 @@ func run(path, label, compare, check string, tol float64, list bool, args []stri
 		cur, err := f.find(labels[1])
 		if err != nil {
 			return err
+		}
+		if filter != "" {
+			re, err := regexp.Compile(filter)
+			if err != nil {
+				return fmt.Errorf("-filter: %w", err)
+			}
+			old, cur = filterRun(old, re), filterRun(cur, re)
 		}
 		printComparison(os.Stdout, old, cur)
 		if check != "" {
@@ -177,6 +192,19 @@ func (f *File) find(label string) (Run, error) {
 		}
 	}
 	return Run{}, fmt.Errorf("no run labelled %q (use -list)", label)
+}
+
+// filterRun returns a copy of the run keeping only the benchmarks whose
+// name matches re.
+func filterRun(r Run, re *regexp.Regexp) Run {
+	kept := make(map[string]Metrics, len(r.Benchmarks))
+	for name, m := range r.Benchmarks {
+		if re.MatchString(name) {
+			kept[name] = m
+		}
+	}
+	r.Benchmarks = kept
+	return r
 }
 
 // put replaces the run with the same label or appends a new one.

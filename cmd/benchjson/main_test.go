@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -41,6 +42,35 @@ func TestCheckRegressionNoCommon(t *testing.T) {
 	if err := checkRegression(io.Discard, old, cur, 15); err == nil {
 		t.Fatal("a check with no common benchmarks must fail, not silently pass")
 	}
+}
+
+func TestFilterRunRestrictsCheck(t *testing.T) {
+	re := mustCompile(t, "_W1$")
+	old := mkRun("arena-csr", map[string]float64{
+		"BenchmarkFill_W1": 100, "BenchmarkFill_W8": 100,
+	})
+	cur := mkRun("current", map[string]float64{
+		"BenchmarkFill_W1": 105, "BenchmarkFill_W8": 300, // W8 regressed hard
+	})
+	fOld, fCur := filterRun(old, re), filterRun(cur, re)
+	if len(fCur.Benchmarks) != 1 {
+		t.Fatalf("filter kept %d benchmarks, want 1", len(fCur.Benchmarks))
+	}
+	if err := checkRegression(io.Discard, fOld, fCur, 15); err != nil {
+		t.Fatalf("filtered check should ignore the W8 regression: %v", err)
+	}
+	if err := checkRegression(io.Discard, old, cur, 15); err == nil {
+		t.Fatal("unfiltered check must still catch the W8 regression")
+	}
+}
+
+func mustCompile(t *testing.T, expr string) *regexp.Regexp {
+	t.Helper()
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return re
 }
 
 func TestParseBenchKeepsFastest(t *testing.T) {

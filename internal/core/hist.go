@@ -152,6 +152,7 @@ func sentinelSet(gen rrset.Generator, opt im.Options, phase *obs.Span, eps1, del
 	b1 := im.NewInstrumentedBatcher(gen, opt.Seed, opt.Workers, opt.Tracer.Metrics())
 	outDeg := outDegrees(g)
 	idx1 := coverage.NewIndexObs(n, outDeg, opt.Tracer.Metrics())
+	idx1.SetWorkers(opt.Workers)
 
 	rep := phase1Report{}
 	theta := theta0
@@ -254,6 +255,8 @@ func imSentinel(gen rrset.Generator, opt im.Options, phase *obs.Span, sb []int32
 	outDeg := outDegrees(g)
 	idx1 := coverage.NewIndexObs(n, outDeg, opt.Tracer.Metrics())
 	idx2 := coverage.NewIndexObs(n, outDeg, opt.Tracer.Metrics())
+	idx1.SetWorkers(opt.Workers)
+	idx2.SetWorkers(opt.Workers)
 
 	res := &im.Result{}
 	var hits1, hits2 int64

@@ -7,7 +7,6 @@
 package coverage
 
 import (
-	"sort"
 	"time"
 
 	"subsim/internal/obs"
@@ -28,7 +27,11 @@ import (
 // IMM/OPIM-C/HIST every posting is scanned O(1) times amortised.
 //
 // Index is not safe for concurrent mutation; build it single-threaded or
-// guard it externally. Selection runs are single-threaded.
+// guard it externally. Selection runs are single-threaded from the
+// caller's point of view; with SetWorkers(w>1) the index internally
+// parallelises its CSR rebuilds and the initial-gain pass of SelectSeeds
+// across disjoint node ranges, producing byte-identical results to the
+// serial path (see DESIGN.md "Parallel coverage pipeline").
 type Index struct {
 	n      int
 	outDeg []int32 // optional out-degrees for the Revised-Greedy tie-break
@@ -44,10 +47,38 @@ type Index struct {
 	covered []uint32 // per-set stamp; covered in run r iff covered[i] == r
 	run     uint32
 
-	// Optional observability hooks (nil-safe): build duration and
-	// postings placed per CSR rebuild.
-	buildHist  *obs.Histogram
-	entriesCtr *obs.Counter
+	// workers bounds the internal parallelism of index rebuilds and the
+	// SelectSeeds initial-gain pass; 1 (the default) keeps every pass
+	// goroutine-free.
+	workers int
+
+	// Rebuild double-buffer scratch (tentpole: the parallel build is
+	// allocation-free in steady state). headsScratch/postScratch hold
+	// the previous generation's buffers and are swapped with
+	// heads/postings on every rebuild; postScratch grows geometrically.
+	headsScratch []int64
+	postScratch  []int32
+	// Parallel-build scratch: per-worker delta counts (sharded counting
+	// pass), per-range partial sums / base offsets, and the balanced
+	// node-range boundaries of the placement pass.
+	cntW     [][]int32
+	partial  []int64
+	rangeEnd []int
+
+	// Selection scratch reused across SelectSeeds runs: the CELF heap
+	// backing array, the per-node gain upper bounds, the selected marks
+	// (reset after each run), and the topSum bounded min-heap.
+	selEntries  []celfEntry
+	selGains    []int64
+	selSelected []bool
+	topScratch  []int64
+
+	// Optional observability hooks (nil-safe): build duration (total and
+	// split by serial/parallel path) and postings placed per CSR rebuild.
+	buildHist    *obs.Histogram
+	buildSerHist *obs.Histogram
+	buildParHist *obs.Histogram
+	entriesCtr   *obs.Counter
 }
 
 // NewIndex returns an empty index over n nodes. outDeg, when non-nil,
@@ -62,24 +93,44 @@ func NewIndex(n int, outDeg []int32) *Index {
 		outDeg:  outDeg,
 		heads:   make([]int64, n+1),
 		cursors: make([]int64, n),
+		workers: 1,
 	}
 }
 
+// SetWorkers bounds the internal parallelism of CSR rebuilds and the
+// SelectSeeds initial-gain pass. Values below 1 are clamped to 1 (the
+// fully serial default). The worker count never changes any result —
+// parallel and serial paths are byte-identical — it only decides how the
+// node space and the delta data are partitioned.
+func (x *Index) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	x.workers = w
+}
+
+// Workers returns the configured internal parallelism bound.
+func (x *Index) Workers() int { return x.workers }
+
 // SetBuildMetrics attaches observability instruments to the CSR rebuild:
-// hist observes nanoseconds per rebuild, entries counts postings placed.
-// Both are nil-safe; a nil tracer therefore threads through for free.
-func (x *Index) SetBuildMetrics(hist *obs.Histogram, entries *obs.Counter) {
-	x.buildHist = hist
+// total observes nanoseconds per rebuild regardless of path, serial and
+// parallel observe the same duration split by the path taken, entries
+// counts postings placed. All are nil-safe; a nil tracer therefore
+// threads through for free.
+func (x *Index) SetBuildMetrics(total, serial, parallel *obs.Histogram, entries *obs.Counter) {
+	x.buildHist = total
+	x.buildSerHist = serial
+	x.buildParHist = parallel
 	x.entriesCtr = entries
 }
 
 // NewIndexObs returns NewIndex wired to m's index-build instruments
-// (build-duration histogram and postings counter); a nil m yields a
+// (build-duration histograms and postings counter); a nil m yields a
 // plain, uninstrumented index.
 func NewIndexObs(n int, outDeg []int32, m *obs.MetricSet) *Index {
 	idx := NewIndex(n, outDeg)
 	if m != nil {
-		idx.SetBuildMetrics(&m.IndexBuild, &m.IndexEntries)
+		idx.SetBuildMetrics(&m.IndexBuild, &m.IndexBuildSerial, &m.IndexBuildParallel, &m.IndexEntries)
 	}
 	return idx
 }
@@ -93,6 +144,18 @@ func (x *Index) Add(set rrset.RRSet) {
 // Reserve pre-grows the flat store for about sets more RR sets
 // totalling about nodes more ids.
 func (x *Index) Reserve(sets, nodes int) { x.store.Reserve(sets, nodes) }
+
+// Grow exposes the store's range-reservation API (rrset.Store.Grow) so
+// a parallel splice can copy worker blocks into disjoint sub-ranges of
+// the flat buffers: it appends exactly sets uninitialised set slots
+// totalling exactly nodes ids and returns the destination regions plus
+// the absolute node offset of data[0]. The caller must fill both
+// regions completely — ends with absolute exclusive end offsets —
+// before the next query; the inverted index then refreshes lazily
+// exactly as it does after Add.
+func (x *Index) Grow(sets, nodes int) (data []int32, ends []int64, nodeBase int64) {
+	return x.store.Grow(sets, nodes)
+}
 
 // NumSets returns the number of RR sets indexed.
 func (x *Index) NumSets() int { return x.store.NumSets() }
@@ -116,12 +179,17 @@ func (x *Index) MemoryBytes() int64 {
 // new positions and scatters the delta set ids behind them. Posting
 // lists stay ascending by set id, matching the append order of the old
 // slice-of-slices index exactly.
+//
+// With SetWorkers(w>1) and a large enough delta the rebuild runs the
+// node-range-partitioned parallel path of parallel.go; both paths
+// produce byte-identical heads/postings and reuse the same double
+// buffers, so the choice is invisible outside this method.
 func (x *Index) ensureIndexed() {
 	total := x.store.NumSets()
 	if x.indexed == total {
 		return
 	}
-	start := time.Now() //lint:allow timing (feeds the index-build duration histogram only)
+	start := time.Now() //lint:allow timing (feeds the index-build duration histograms only)
 
 	data := x.store.Data()
 	ends := x.store.Ends()
@@ -130,6 +198,51 @@ func (x *Index) ensureIndexed() {
 		deltaFrom = ends[x.indexed-1]
 	}
 
+	newHeads := x.growHeadsScratch()
+	parallel := x.workers > 1 && int64(len(data))-deltaFrom >= int64(parallelBuildMinDelta)
+	if parallel {
+		x.buildParallel(newHeads, data, ends, deltaFrom, total)
+	} else {
+		x.buildSerial(newHeads, data, ends, deltaFrom, total)
+	}
+
+	x.entriesCtr.Add(int64(len(data)) - deltaFrom) // delta postings placed
+	x.indexed = total
+
+	// Grow the covered stamps to match (geometrically, so the doubling
+	// rounds do not reallocate on every delta); fresh sets carry stamp
+	// 0, which is never equal to a live run id.
+	if cap(x.covered) < total {
+		newCap := 2 * cap(x.covered)
+		if newCap < total {
+			newCap = total
+		}
+		grown := make([]uint32, total, newCap)
+		copy(grown, x.covered)
+		x.covered = grown
+	} else {
+		tail := x.covered[len(x.covered):total]
+		for i := range tail {
+			tail[i] = 0 // recycled capacity may hold stale stamps
+		}
+		x.covered = x.covered[:total]
+	}
+
+	ns := time.Since(start).Nanoseconds() //lint:allow timing (feeds the index-build duration histograms only)
+	x.buildHist.Observe(ns)
+	if parallel {
+		x.buildParHist.Observe(ns)
+	} else {
+		x.buildSerHist.Observe(ns)
+	}
+}
+
+// buildSerial is the single-threaded delta rebuild: counting pass over
+// the delta, prefix-summed heads, block copy of the old posting lists,
+// scatter of the delta ids.
+//
+//subsim:hotpath
+func (x *Index) buildSerial(newHeads []int64, data []int32, ends []int64, deltaFrom int64, total int) {
 	// Counting pass over the delta only.
 	cnt := x.cursors // zeroed by the previous build (or construction)
 	for _, v := range data[deltaFrom:] {
@@ -137,14 +250,13 @@ func (x *Index) ensureIndexed() {
 	}
 
 	// New heads: old per-node length + delta count, prefix-summed.
-	newHeads := make([]int64, x.n+1)
 	var acc int64
 	for v := 0; v < x.n; v++ {
 		newHeads[v] = acc
 		acc += (x.heads[v+1] - x.heads[v]) + cnt[v]
 	}
 	newHeads[x.n] = acc
-	newPost := make([]int32, acc)
+	newPost := x.growPostScratch(acc)
 
 	// Placement pass: block-copy the old posting lists, then scatter the
 	// delta ids behind them (delta sets are scanned in ascending id
@@ -170,23 +282,38 @@ func (x *Index) ensureIndexed() {
 	for v := range cnt {
 		cnt[v] = 0
 	}
+	x.commitBuild(newHeads, newPost)
+}
 
-	x.heads = newHeads
-	x.postings = newPost
-	x.entriesCtr.Add(int64(len(data)) - deltaFrom) // delta postings placed
-	x.indexed = total
-
-	// Grow the covered stamps to match; fresh sets carry stamp 0, which
-	// is never equal to a live run id.
-	if cap(x.covered) < total {
-		grown := make([]uint32, total)
-		copy(grown, x.covered)
-		x.covered = grown
-	} else {
-		x.covered = x.covered[:total]
+// growHeadsScratch returns the heads double buffer sized to n+1.
+func (x *Index) growHeadsScratch() []int64 {
+	if cap(x.headsScratch) < x.n+1 {
+		x.headsScratch = make([]int64, x.n+1)
 	}
+	return x.headsScratch[:x.n+1]
+}
 
-	x.buildHist.Observe(time.Since(start).Nanoseconds()) //lint:allow timing (feeds the index-build duration histogram only)
+// growPostScratch returns the postings double buffer resized to hold
+// size entries, growing geometrically so repeated rebuilds amortise to
+// zero allocations per posting.
+func (x *Index) growPostScratch(size int64) []int32 {
+	if int64(cap(x.postScratch)) < size {
+		newCap := 2 * int64(cap(x.postScratch))
+		if newCap < size {
+			newCap = size
+		}
+		x.postScratch = make([]int32, newCap)
+	}
+	return x.postScratch[:size]
+}
+
+// commitBuild swaps the freshly built buffers in and retires the old
+// generation as the next rebuild's scratch (double buffering).
+func (x *Index) commitBuild(newHeads []int64, newPost []int32) {
+	x.headsScratch = x.heads
+	x.heads = newHeads
+	x.postScratch = x.postings
+	x.postings = newPost
 }
 
 // posting returns the CSR posting list of node v (the ids of the indexed
@@ -390,6 +517,13 @@ func (h *celfHeap) pop() celfEntry {
 // and at the final prefix; the minimum is returned. Skipping intermediate
 // prefixes can only loosen the bound, never invalidate it, and keeps the
 // bound's cost at O(n log K · log k) instead of O(n·k).
+//
+// The first CELF round (the initial gains Degree(v) for all n nodes and
+// the entry fill) is partitioned across workers when SetWorkers(w>1)
+// was configured; the heapify and the lazy-greedy loop stay serial.
+// Per-run scratch (heap backing array, gain vector, selected marks) is
+// reused across calls, so repeated selection rounds on a warm index do
+// not allocate beyond the returned Seeds/Coverage slices.
 func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 	k := opt.K
 	if k > x.n {
@@ -412,16 +546,33 @@ func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 
 	x.ensureIndexed()
 	x.newRun()
-	h := &celfHeap{outDeg: tie}
-	h.entries = make([]celfEntry, 0, x.n)
-	gains := make([]int64, x.n) // latest computed gain per node (a valid upper bound)
-	for v := 0; v < x.n; v++ {
-		if opt.Exclude != nil && opt.Exclude[v] {
-			continue
+	if cap(x.selEntries) < x.n {
+		x.selEntries = make([]celfEntry, 0, x.n)
+	}
+	if len(x.selGains) < x.n {
+		x.selGains = make([]int64, x.n)
+	}
+	if len(x.selSelected) < x.n {
+		x.selSelected = make([]bool, x.n) // reset to all-false after every run
+	}
+	var h celfHeap
+	h.outDeg = tie
+	h.entries = x.selEntries[:0]
+	gains := x.selGains[:x.n] // latest computed gain per node (a valid upper bound)
+	selected := x.selSelected[:x.n]
+
+	if x.workers > 1 && x.n >= parallelGainsMinNodes {
+		h.entries = x.parallelInitialGains(h.entries, gains, opt.Exclude)
+	} else {
+		for v := 0; v < x.n; v++ {
+			if opt.Exclude != nil && opt.Exclude[v] {
+				gains[v] = 0 // keeps the reused gain vector topSum-safe
+				continue
+			}
+			g := x.heads[v+1] - x.heads[v]
+			gains[v] = g
+			h.entries = append(h.entries, celfEntry{gain: g, node: int32(v), iter: 0})
 		}
-		g := int64(len(x.posting(int32(v))))
-		gains[v] = g
-		h.entries = append(h.entries, celfEntry{gain: g, node: int32(v), iter: 0})
 	}
 	h.init()
 
@@ -430,11 +581,10 @@ func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 		Coverage:      make([]int64, 0, k),
 		CoverageUpper: int64(x.store.NumSets()) + opt.Base, // trivial bound; tightened below
 	}
-	selected := make([]bool, x.n)
 
 	// Upper bound at prefix 0: Base + sum of the topL largest initial
 	// coverages.
-	res.tightenUpper(opt.Base + topSum(gains, selected, topL))
+	res.tightenUpper(opt.Base + x.topSum(gains, selected, topL))
 
 	var cum int64
 	nextBoundAt := 1
@@ -470,10 +620,17 @@ func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 			// Stored gains upper-bound each node's current marginal
 			// (submodularity), so their topL sum dominates the true
 			// maxMC sum at this prefix.
-			res.tightenUpper(opt.Base + cum + topSum(gains, selected, topL))
+			res.tightenUpper(opt.Base + cum + x.topSum(gains, selected, topL))
 			nextBoundAt *= 2
 		}
 	}
+	// Recycle the scratch: clear the selected marks (only the picked
+	// seeds are set) and keep the heap's backing array, which push may
+	// have regrown.
+	for _, v := range res.Seeds {
+		selected[v] = false
+	}
+	x.selEntries = h.entries[:0]
 	return res
 }
 
@@ -498,12 +655,16 @@ func (r *GreedyResult) tightenUpper(bound int64) {
 }
 
 // topSum returns the sum of the topL largest values among unselected
-// nodes, via a bounded min-heap in O(n log topL).
-func topSum(gains []int64, selected []bool, topL int) int64 {
+// nodes, via a bounded insertion buffer in O(n log topL). The buffer is
+// index-level scratch reused across calls.
+func (x *Index) topSum(gains []int64, selected []bool, topL int) int64 {
 	if topL <= 0 {
 		return 0
 	}
-	best := make([]int64, 0, topL)
+	if cap(x.topScratch) < topL {
+		x.topScratch = make([]int64, 0, topL)
+	}
+	best := x.topScratch[:0]
 	for v, g := range gains {
 		if selected[v] || g == 0 {
 			continue
@@ -511,7 +672,7 @@ func topSum(gains []int64, selected []bool, topL int) int64 {
 		if len(best) < topL {
 			best = append(best, g)
 			if len(best) == topL {
-				sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+				insertionSortInt64(best)
 			}
 			continue
 		}
@@ -524,11 +685,24 @@ func topSum(gains []int64, selected []bool, topL int) int64 {
 		}
 	}
 	if len(best) < topL {
-		sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+		insertionSortInt64(best)
 	}
 	var s int64
 	for _, g := range best {
 		s += g
 	}
+	x.topScratch = best[:0]
 	return s
+}
+
+// insertionSortInt64 sorts ascending in place without the interface
+// boxing of sort.Slice (topSum runs on the selection path, where that
+// closure allocation is measurable across CELF rounds). The buffers are
+// at most topL ≈ k elements, where insertion sort is fine.
+func insertionSortInt64(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }

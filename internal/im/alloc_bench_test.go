@@ -42,12 +42,14 @@ func benchFillIndex(b *testing.B, gen rrset.Generator, workers, setsPer int) {
 	batch := NewBatcher(gen, 42, workers)
 	// Warm the worker scratch so steady-state costs are measured.
 	idx := coverage.NewIndex(n, nil)
+	idx.SetWorkers(workers)
 	batch.FillIndex(idx, setsPer, nil)
 	idx.Degree(0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		idx := coverage.NewIndex(n, nil)
+		idx.SetWorkers(workers)
 		batch.FillIndex(idx, setsPer, nil)
 		idx.Degree(0) // force the inverted index build
 	}
@@ -69,9 +71,19 @@ func BenchmarkFillIndex_Subsim_W4(b *testing.B) {
 	benchFillIndex(b, rrset.NewSubsim(g), 4, 2000)
 }
 
+func BenchmarkFillIndex_Subsim_W8(b *testing.B) {
+	g := benchGraph(b, 5000, 40000)
+	benchFillIndex(b, rrset.NewSubsim(g), 8, 2000)
+}
+
 func BenchmarkFillIndex_BA_Subsim_W1(b *testing.B) {
 	g := benchBAGraph(b, 5000, 8)
 	benchFillIndex(b, rrset.NewSubsim(g), 1, 2000)
+}
+
+func BenchmarkFillIndex_BA_Subsim_W8(b *testing.B) {
+	g := benchBAGraph(b, 5000, 8)
+	benchFillIndex(b, rrset.NewSubsim(g), 8, 2000)
 }
 
 // BenchmarkGenerateSingle measures a single-set Generate through the

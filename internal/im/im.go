@@ -121,6 +121,25 @@ type Batcher struct {
 	base   []rrset.Stats  // per-worker counters at construction; Stats() reports deltas
 	seed   uint64
 	next   int64 // global index of the next set to generate
+
+	// coldNodes estimates nodes per RR set before any set has been
+	// generated (the cold-start reserve); seeded from the graph's average
+	// in-degree, since an RR set's expected size tracks how many in-edges
+	// a BFS layer fans out over.
+	coldNodes int
+
+	// spliceHist, when non-nil, receives the duration of each
+	// arena-to-store splice performed by FillIndex (ns).
+	spliceHist *obs.Histogram
+
+	// Splice scratch, one slot per worker: kept set/node counts from the
+	// counting pass and their prefix-summed destination offsets. Kept on
+	// the batcher so steady-state FillIndex allocates nothing.
+	keptSets  []int
+	keptNodes []int
+	setOff    []int
+	nodeOff   []int64
+	hitCnt    []int64
 }
 
 // NewBatcher builds a parallel generation front-end over gen. The
@@ -131,11 +150,28 @@ func NewBatcher(gen rrset.Generator, seed uint64, workers int) *Batcher {
 		workers = 1
 	}
 	b := &Batcher{
-		gens:   make([]rrset.Generator, workers),
-		srcs:   make([]*rng.Source, workers),
-		arenas: make([]*rrset.Arena, workers),
-		base:   make([]rrset.Stats, workers),
-		seed:   seed,
+		gens:      make([]rrset.Generator, workers),
+		srcs:      make([]*rng.Source, workers),
+		arenas:    make([]*rrset.Arena, workers),
+		base:      make([]rrset.Stats, workers),
+		seed:      seed,
+		keptSets:  make([]int, workers),
+		keptNodes: make([]int, workers),
+		setOff:    make([]int, workers),
+		nodeOff:   make([]int64, workers),
+		hitCnt:    make([]int64, workers),
+	}
+	if g := gen.Graph(); g != nil {
+		cold := int(g.AvgDegree()) + 1
+		if cold < 2 {
+			cold = 2
+		}
+		if cold > 64 {
+			cold = 64
+		}
+		b.coldNodes = cold
+	} else {
+		b.coldNodes = 2
 	}
 	for w := 0; w < workers; w++ {
 		if w == 0 {
@@ -159,6 +195,7 @@ func NewInstrumentedBatcher(gen rrset.Generator, seed uint64, workers int, m *ob
 	if m == nil {
 		return b
 	}
+	b.spliceHist = &m.Splice
 	for w := range b.gens {
 		b.gens[w] = rrset.Instrument(b.gens[w], m, m.WorkerSets(w))
 	}
@@ -224,10 +261,13 @@ func (b *Batcher) fillArenas(count int, sentinel []bool) (used int) {
 // RR-set size observed by that worker's generator (with headroom) tells
 // the arena how many node ids the next cnt sets will need, replacing
 // amortised doubling with a single up-front growth in the common case.
+// Before the first set exists there is no average, so the cold start
+// falls back to the graph's average in-degree (coldNodes) instead of
+// reserving zero nodes and eating log2(batch) reallocations.
 func (b *Batcher) reserve(a *rrset.Arena, w, cnt int) {
 	s := b.gens[w].Stats()
 	if s.Sets == 0 {
-		a.Reserve(cnt, 0)
+		a.Reserve(cnt, cnt*b.coldNodes)
 		return
 	}
 	a.Reserve(cnt, int(s.AvgSize()*float64(cnt)*1.25)+cnt)
@@ -302,32 +342,133 @@ func (b *Batcher) ResetStats() {
 // Algorithm 8 line 5 where covered-by-S_b sets are excluded from greedy.
 //
 // The sets are spliced from the per-worker arenas straight into the
-// index's flat store in global-index order — two contiguous appends per
-// set, no per-set allocation.
-//
-//subsim:hotpath
+// index's flat store: each worker's kept sets/nodes are counted first,
+// prefix sums assign every worker a disjoint destination range in the
+// store's flat buffers (reserved in one Index.Grow call), and the copy
+// pass block-copies each arena into its range. Workers own contiguous
+// global-index blocks in ascending order, so the store content is
+// byte-identical to the serial per-set append regardless of the worker
+// count, and steady-state cost is two memcpys per worker — no per-set
+// allocation, no per-set call.
 func (b *Batcher) FillIndex(idx *coverage.Index, count int, sentinel []bool) (hits int64) {
 	if count <= 0 {
 		return 0
 	}
 	used := b.fillArenas(count, sentinel)
-	nodes := 0
-	for w := 0; w < used; w++ {
-		nodes += b.arenas[w].NumNodes()
+	var start time.Time
+	if b.spliceHist != nil {
+		start = time.Now() //lint:allow timing (splice duration metric)
 	}
-	idx.Reserve(count, nodes)
-	for w := 0; w < used; w++ {
-		a := b.arenas[w]
-		for i, n := 0, a.Len(); i < n; i++ {
-			set := a.Set(i)
-			if sentinel != nil && len(set) > 0 && sentinel[set[len(set)-1]] {
-				hits++
-				continue
-			}
-			idx.Add(set)
-		}
+	hits = b.splice(idx, used, sentinel)
+	if b.spliceHist != nil {
+		b.spliceHist.Observe(time.Since(start).Nanoseconds()) //lint:allow timing (splice duration metric)
 	}
 	return hits
+}
+
+// splice moves the contents of the first `used` arenas into the index
+// store, skipping sentinel-terminated sets, and returns the number of
+// sets skipped. used==1 splices inline; otherwise the counting pass and
+// the copy pass each fan out across the arenas, with a serial O(used)
+// prefix sum in between assigning destination offsets.
+func (b *Batcher) splice(idx *coverage.Index, used int, sentinel []bool) int64 {
+	if used == 1 {
+		sets, nodes, hits := countKept(b.arenas[0], sentinel)
+		data, ends, nodeBase := idx.Grow(sets, nodes)
+		spliceArena(b.arenas[0], sentinel, data, ends, nodeBase)
+		return hits
+	}
+	var wg sync.WaitGroup
+	wg.Add(used - 1)
+	for w := 1; w < used; w++ {
+		go func(w int) {
+			defer wg.Done()
+			b.keptSets[w], b.keptNodes[w], b.hitCnt[w] = countKept(b.arenas[w], sentinel)
+		}(w)
+	}
+	b.keptSets[0], b.keptNodes[0], b.hitCnt[0] = countKept(b.arenas[0], sentinel)
+	wg.Wait()
+
+	totalSets, totalNodes := 0, int64(0)
+	var hits int64
+	for w := 0; w < used; w++ {
+		b.setOff[w] = totalSets
+		b.nodeOff[w] = totalNodes
+		totalSets += b.keptSets[w]
+		totalNodes += int64(b.keptNodes[w])
+		hits += b.hitCnt[w]
+	}
+	data, ends, nodeBase := idx.Grow(totalSets, int(totalNodes))
+
+	wg.Add(used - 1)
+	for w := 1; w < used; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := b.nodeOff[w]
+			spliceArena(b.arenas[w], sentinel,
+				data[lo:lo+int64(b.keptNodes[w])],
+				ends[b.setOff[w]:b.setOff[w]+b.keptSets[w]],
+				nodeBase+lo)
+		}(w)
+	}
+	spliceArena(b.arenas[0], sentinel,
+		data[:b.keptNodes[0]], ends[:b.keptSets[0]], nodeBase)
+	wg.Wait()
+	return hits
+}
+
+// countKept reports how many of the arena's sets survive sentinel
+// filtering and how many node ids they hold, plus the number filtered
+// out. With no sentinel every set is kept, read straight off the arena
+// totals.
+//
+//subsim:hotpath
+func countKept(a *rrset.Arena, sentinel []bool) (sets, nodes int, hits int64) {
+	if sentinel == nil {
+		return a.Len(), a.NumNodes(), 0
+	}
+	data, ends := a.Data(), a.Ends()
+	start := int64(0)
+	for _, end := range ends {
+		if end > start && sentinel[data[end-1]] {
+			hits++
+		} else {
+			sets++
+			nodes += int(end - start)
+		}
+		start = end
+	}
+	return sets, nodes, hits
+}
+
+// spliceArena copies the arena's kept sets into dst (exactly the kept
+// node ids) and writes their ABSOLUTE exclusive end offsets — base plus
+// the local cumulative length — into ends (exactly the kept set count).
+// With no sentinel it is one block copy plus the offset rewrite.
+//
+//subsim:hotpath
+func spliceArena(a *rrset.Arena, sentinel []bool, dst []int32, ends []int64, base int64) {
+	srcData, srcEnds := a.Data(), a.Ends()
+	if sentinel == nil {
+		copy(dst, srcData)
+		for i, e := range srcEnds {
+			ends[i] = base + e
+		}
+		return
+	}
+	var nodePos int64
+	setPos := 0
+	start := int64(0)
+	for _, end := range srcEnds {
+		if end > start && sentinel[srcData[end-1]] {
+			start = end
+			continue
+		}
+		nodePos += int64(copy(dst[nodePos:], srcData[start:end]))
+		ends[setPos] = base + nodePos
+		setPos++
+		start = end
+	}
 }
 
 // outDegrees extracts the out-degree array used by the Revised-Greedy

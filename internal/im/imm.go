@@ -45,6 +45,7 @@ func IMM(gen rrset.Generator, opt Options) (*Result, error) {
 		outDeg = outDegrees(gen)
 	}
 	idx := coverage.NewIndexObs(n, outDeg, tr.Metrics())
+	idx.SetWorkers(opt.Workers)
 
 	res := &Result{}
 	lambdaPrime := bounds.IMMLambdaPrime(n, opt.K, epsPrime, l)

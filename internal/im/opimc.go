@@ -41,6 +41,8 @@ func OPIMC(gen rrset.Generator, opt Options) (*Result, error) {
 	}
 	idx1 := coverage.NewIndexObs(n, outDeg, tr.Metrics())
 	idx2 := coverage.NewIndexObs(n, outDeg, tr.Metrics())
+	idx1.SetWorkers(opt.Workers)
+	idx2.SetWorkers(opt.Workers)
 
 	res := &Result{}
 	theta := theta0

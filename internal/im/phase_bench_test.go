@@ -1,0 +1,32 @@
+package im
+
+import (
+	"testing"
+
+	"subsim/internal/coverage"
+	"subsim/internal/rrset"
+)
+
+// benchSplice isolates the arena→store splice of FillIndex: the worker
+// arenas are filled once, then each iteration counts, reserves and
+// copies them into a fresh index store — exactly the work the parallel
+// splice replaced the serial per-set Add loop with. Scaling across the
+// W variants shows the splice speedup alone; absolute numbers depend on
+// the host's core count (W>1 cannot beat W1 on a single-core machine).
+func benchSplice(b *testing.B, workers, setsPer int) {
+	b.Helper()
+	g := benchGraph(b, 5000, 40000)
+	batch := NewBatcher(rrset.NewSubsim(g), 42, workers)
+	used := batch.fillArenas(setsPer, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := coverage.NewIndex(g.N(), nil)
+		batch.splice(idx, used, nil)
+	}
+	b.ReportMetric(float64(setsPer), "sets/op")
+}
+
+func BenchmarkSplice_W1(b *testing.B) { benchSplice(b, 1, 2000) }
+func BenchmarkSplice_W4(b *testing.B) { benchSplice(b, 4, 2000) }
+func BenchmarkSplice_W8(b *testing.B) { benchSplice(b, 8, 2000) }

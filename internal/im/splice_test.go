@@ -1,0 +1,145 @@
+package im
+
+import (
+	"testing"
+
+	"subsim/internal/coverage"
+	"subsim/internal/graph"
+	"subsim/internal/rng"
+	"subsim/internal/rrset"
+)
+
+// TestSpliceSentinelWorkerEquality pins the parallel-splice contract
+// under sentinel filtering, the branch where per-worker kept counts
+// really differ: for every worker count the spliced store must hold the
+// same kept sets in the same global order, report the same hit count,
+// and select the same seeds.
+func TestSpliceSentinelWorkerEquality(t *testing.T) {
+	g, err := graph.GenErdosRenyi(500, 4000, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AssignWC()
+	sentinel := make([]bool, g.N())
+	for v := 0; v < g.N(); v += 3 {
+		sentinel[v] = true
+	}
+	const count = 1200
+
+	ref := NewBatcher(rrset.NewSubsim(g), 13, 1)
+	refIdx := coverage.NewIndex(g.N(), nil)
+	refHits := ref.FillIndex(refIdx, count, sentinel)
+	refSel := refIdx.SelectSeeds(coverage.GreedyOptions{K: 5, Exclude: sentinel})
+
+	for _, workers := range []int{2, 8} {
+		b := NewBatcher(rrset.NewSubsim(g), 13, workers)
+		idx := coverage.NewIndex(g.N(), nil)
+		// Two rounds so the second splice appends behind existing store
+		// content (nodeBase != 0 on every worker range).
+		hits := b.FillIndex(idx, count/2, sentinel)
+		hits += b.FillIndex(idx, count-count/2, sentinel)
+		if hits != refHits {
+			t.Fatalf("workers=%d: %d sentinel hits, want %d", workers, hits, refHits)
+		}
+		if idx.NumSets() != refIdx.NumSets() {
+			t.Fatalf("workers=%d: %d kept sets, want %d", workers, idx.NumSets(), refIdx.NumSets())
+		}
+		for i := 0; i < refIdx.NumSets(); i++ {
+			a, bset := refIdx.Set(i), idx.Set(i)
+			if len(a) != len(bset) {
+				t.Fatalf("workers=%d: set %d has %d nodes, want %d", workers, i, len(bset), len(a))
+			}
+			for j := range a {
+				if a[j] != bset[j] {
+					t.Fatalf("workers=%d: set %d diverges at %d: %d vs %d", workers, i, j, bset[j], a[j])
+				}
+			}
+		}
+		sel := idx.SelectSeeds(coverage.GreedyOptions{K: 5, Exclude: sentinel})
+		for i := range refSel.Seeds {
+			if sel.Seeds[i] != refSel.Seeds[i] {
+				t.Fatalf("workers=%d: seed %d is %d, want %d", workers, i, sel.Seeds[i], refSel.Seeds[i])
+			}
+		}
+		if sel.CoverageUpper != refSel.CoverageUpper {
+			t.Fatalf("workers=%d: upper %d, want %d", workers, sel.CoverageUpper, refSel.CoverageUpper)
+		}
+	}
+}
+
+// TestReserveColdStart pins the cold-start fix: the very first reserve,
+// before any set has been generated, must size the arena's node buffer
+// from the graph's average degree instead of reserving zero nodes.
+func TestReserveColdStart(t *testing.T) {
+	g := allocGraph(t) // 2000 nodes, 16000 edges → avg degree 8
+	b := NewBatcher(rrset.NewSubsim(g), 1, 1)
+	if b.coldNodes < 2 || b.coldNodes > 64 {
+		t.Fatalf("coldNodes = %d outside [2,64]", b.coldNodes)
+	}
+	if want := int(g.AvgDegree()) + 1; b.coldNodes != want {
+		t.Fatalf("coldNodes = %d, want avg degree estimate %d", b.coldNodes, want)
+	}
+	a := rrset.NewArena(0, 0)
+	b.reserve(a, 0, 100)
+	if got := cap(a.Data()); got < 100*b.coldNodes {
+		t.Fatalf("cold reserve capacity %d nodes, want >= %d", got, 100*b.coldNodes)
+	}
+	// Warm reserve switches to the observed average and must dominate
+	// the batch size.
+	b.FillIndex(coverage.NewIndex(g.N(), nil), 50, nil)
+	a2 := rrset.NewArena(0, 0)
+	b.reserve(a2, 0, 100)
+	if got := cap(a2.Data()); got < 100 {
+		t.Fatalf("warm reserve capacity %d nodes", got)
+	}
+}
+
+// TestFillIndexSelectRoundsAllocs extends the amortised-allocation bound
+// to the full doubling-round shape — repeated FillIndex→SelectSeeds
+// cycles on the same index — which exercises the splice, the delta CSR
+// rebuild, AND the selection scratch reuse together. Steady-state cost
+// per round must stay at the few unavoidable allocations (Seeds/Coverage
+// slices plus amortised geometric growth).
+func TestFillIndexSelectRoundsAllocs(t *testing.T) {
+	g := allocGraph(t)
+	b := NewBatcher(rrset.NewSubsim(g), 42, 1)
+	idx := coverage.NewIndex(g.N(), nil)
+	// Warm: enough rounds that the store, the CSR double buffers, the
+	// covered stamps and the selection scratch all hit steady capacity.
+	for i := 0; i < 4; i++ {
+		b.FillIndex(idx, 300, nil)
+		idx.SelectSeeds(coverage.GreedyOptions{K: 10})
+	}
+	allocs := testing.AllocsPerRun(15, func() {
+		b.FillIndex(idx, 200, nil)
+		idx.SelectSeeds(coverage.GreedyOptions{K: 10})
+	})
+	// 200 sets/round: Seeds+Coverage (2) plus rare geometric growth.
+	const maxAllocs = 25
+	if allocs > maxAllocs {
+		t.Errorf("FillIndex(200)+SelectSeeds allocated %.1f objects/round, want <= %d", allocs, maxAllocs)
+	}
+}
+
+// TestSpliceRaceParallel drives the multi-worker FillIndex splice
+// (counting pass, Grow, copy pass) repeatedly with 8 workers so the
+// race detector sees the goroutine handoff, including the sentinel
+// branch.
+func TestSpliceRaceParallel(t *testing.T) {
+	g := allocGraph(t)
+	sentinel := make([]bool, g.N())
+	for v := 0; v < g.N(); v += 7 {
+		sentinel[v] = true
+	}
+	b := NewBatcher(rrset.NewSubsim(g), 3, 8)
+	idx := coverage.NewIndex(g.N(), nil)
+	idx.SetWorkers(8)
+	var total int64
+	for round := 0; round < 4; round++ {
+		total += b.FillIndex(idx, 800, sentinel)
+		idx.SelectSeeds(coverage.GreedyOptions{K: 4, Exclude: sentinel})
+	}
+	if total+int64(idx.NumSets()) != 3200 {
+		t.Fatalf("hits %d + kept %d != 3200", total, idx.NumSets())
+	}
+}

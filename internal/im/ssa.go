@@ -58,6 +58,7 @@ func SSA(gen rrset.Generator, opt Options) (*Result, error) {
 		outDeg = outDegrees(gen)
 	}
 	idx := coverage.NewIndexObs(n, outDeg, tr.Metrics())
+	idx.SetWorkers(opt.Workers)
 
 	res := &Result{}
 	theta := lambda

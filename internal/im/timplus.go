@@ -42,6 +42,7 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 		outDeg = outDegrees(gen)
 	}
 	idx := coverage.NewIndexObs(n, outDeg, tr.Metrics())
+	idx.SetWorkers(opt.Workers)
 
 	// In-degrees for w(R).
 	inDeg := make([]int64, n)
@@ -107,6 +108,7 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 		thetaPrime = limit
 	}
 	fresh := coverage.NewIndexObs(n, outDeg, tr.Metrics())
+	fresh.SetWorkers(opt.Workers)
 	b.FillIndex(fresh, int(thetaPrime), nil)
 	covFresh := fresh.CoverageOf(selPrev.Seeds)
 	kptPrime := float64(covFresh) / float64(fresh.NumSets()) * float64(n) / (1 + epsPrime)

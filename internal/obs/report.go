@@ -95,10 +95,13 @@ func (t *Tracer) Report() *Report {
 		"index_entries_total":     m.IndexEntries.Load(),
 	}
 	r.Histograms = map[string]HistogramSnapshot{
-		"rr_size":          m.RRSize.Snapshot(),
-		"rr_edges_per_set": m.EdgesPerSet.Snapshot(),
-		"geom_skip_len":    m.SkipLen.Snapshot(),
-		"index_build_ns":   m.IndexBuild.Snapshot(),
+		"rr_size":                 m.RRSize.Snapshot(),
+		"rr_edges_per_set":        m.EdgesPerSet.Snapshot(),
+		"geom_skip_len":           m.SkipLen.Snapshot(),
+		"index_build_ns":          m.IndexBuild.Snapshot(),
+		"index_build_serial_ns":   m.IndexBuildSerial.Snapshot(),
+		"index_build_parallel_ns": m.IndexBuildParallel.Snapshot(),
+		"splice_ns":               m.Splice.Snapshot(),
 	}
 	r.WorkerSets = m.WorkerSnapshot()
 	return r

@@ -48,6 +48,7 @@ func New(gen rrset.Generator, theta int64, seed uint64, workers int) (*Oracle, e
 		theta: theta,
 		idx:   coverage.NewIndex(g.N(), nil),
 	}
+	o.idx.SetWorkers(workers)
 	b := im.NewBatcher(gen, seed, workers)
 	b.FillIndex(o.idx, int(theta), nil)
 	o.stats = b.Stats()

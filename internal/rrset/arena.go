@@ -60,6 +60,15 @@ func (a *Arena) Set(i int) []int32 {
 	return a.data[start:a.ends[i]:a.ends[i]]
 }
 
+// Data returns the flat node-id buffer of all sets back to back; Ends
+// the per-set exclusive end offsets. Both are live read-only views for
+// zero-copy splice passes (Batcher.FillIndex block-copies them into the
+// coverage store); they are invalidated by the next append or Reset.
+func (a *Arena) Data() []int32 { return a.data }
+
+// Ends returns the per-set exclusive end offsets (see Data).
+func (a *Arena) Ends() []int64 { return a.ends }
+
 // start returns the offset new nodes will be appended at.
 func (a *Arena) start() int { return len(a.data) }
 
@@ -124,6 +133,23 @@ func (s *Store) Append(set []int32) {
 func (s *Store) Reserve(sets, nodes int) {
 	s.data = growInt32(s.data, nodes)
 	s.ends = growInt64(s.ends, sets)
+}
+
+// Grow is the range-reservation API behind the parallel splice: it
+// extends the store by exactly sets uninitialised set slots totalling
+// exactly nodes node ids and returns the two destination regions plus
+// the absolute offset data[0] corresponds to in the flat buffer.
+// Callers must fill data completely and write ends as ABSOLUTE
+// exclusive end offsets (i.e. nodeBase + local cumulative length)
+// before the store is read again; disjoint sub-ranges may be filled
+// from different goroutines. Growth is geometric, so repeated Grow
+// calls stay amortised O(1) per element.
+func (s *Store) Grow(sets, nodes int) (data []int32, ends []int64, nodeBase int64) {
+	nodeBase = int64(len(s.data))
+	setBase := len(s.ends)
+	s.data = growInt32(s.data, nodes)[:len(s.data)+nodes]
+	s.ends = growInt64(s.ends, sets)[:len(s.ends)+sets]
+	return s.data[nodeBase:], s.ends[setBase:], nodeBase
 }
 
 // growInt32 returns buf with capacity for at least extra more elements,
