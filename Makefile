@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vet-strict fuzz-smoke test test-alloc race cover bench bench-json bench-scale benchcmp benchcheck benchobs examples experiments quick clean
+.PHONY: all build vet lint vet-strict fuzz-smoke test test-alloc race serve-smoke cover bench bench-json bench-scale benchcmp benchcheck benchobs examples experiments quick clean
 
-all: build vet lint test test-alloc race
+all: build vet lint test test-alloc race serve-smoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,17 @@ test-alloc:
 
 race:
 	$(GO) test -race ./...
+
+# End-to-end smoke gate for the live telemetry plane: boots
+# `imrun -serve` on a generated graph, asserts every endpoint, checks
+# rr_sets_total monotonicity and a live /progress phase mid-run, then
+# gates obsdiff on a self-compare (exit 0) and the committed regressed
+# fixture (exit 1). See cmd/servesmoke.
+serve-smoke:
+	$(GO) build -o bin/graphgen ./cmd/graphgen
+	$(GO) build -o bin/imrun ./cmd/imrun
+	$(GO) build -o bin/obsdiff ./cmd/obsdiff
+	$(GO) run ./cmd/servesmoke
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -92,9 +103,13 @@ bench-scale:
 	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label parallel-cover bench_scale.txt
 	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -check arena-csr,parallel-cover -filter '_W1$$'
 
-# Observability overhead: bare vs nil-wrapped vs metrics-on RR generation.
+# Observability overhead: bare vs nil-wrapped vs metrics-on vs
+# worker-timed vs live-scraped RR generation, recorded into
+# BENCH_rrset.json under the "obs-live" label (committed baseline:
+# "obs-live").
 benchobs:
-	$(GO) test ./internal/rrset -run '^$$' -bench InstrumentedGenerate -benchmem -count 3
+	$(GO) test ./internal/rrset -run '^$$' -bench InstrumentedGenerate -benchmem -count 3 2>&1 | tee bench_obs.txt
+	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label obs-live bench_obs.txt
 
 examples:
 	$(GO) run ./examples/quickstart

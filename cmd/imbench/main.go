@@ -18,7 +18,10 @@
 //	-trace   write a schema-versioned JSON run report covering every
 //	         experiment (one top-level span per experiment id)
 //	-metrics dump Prometheus-style RR metrics to stderr after the run
-//	-pprof   serve net/http/pprof and expvar on this address (e.g. :6060)
+//	-log     emit structured run events on stderr: "text" or "json"
+//	-serve   serve the live telemetry plane on this address (e.g. :6060):
+//	         /metrics, /healthz, /readyz, /progress, /report, /debug/*
+//	-pprof   deprecated alias for -serve
 //
 // Example:
 //
@@ -28,14 +31,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 
 	"subsim/internal/bench"
 	"subsim/internal/obs"
+	"subsim/internal/obs/serve"
 )
 
 func main() {
@@ -49,8 +51,15 @@ func main() {
 	quick := flag.Bool("quick", false, "tiny smoke-test configuration")
 	tracePath := flag.String("trace", "", "write the JSON run report to this file")
 	metrics := flag.Bool("metrics", false, "dump Prometheus-style metrics to stderr")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
+	logFmt := flag.String("log", "", "structured run events on stderr: text or json")
+	serveAddr := flag.String("serve", "", "serve the live telemetry plane on this address")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -serve")
 	flag.Parse()
+
+	if *serveAddr == "" && *pprofAddr != "" {
+		fmt.Fprintln(os.Stderr, "imbench: -pprof is deprecated, use -serve")
+		*serveAddr = *pprofAddr
+	}
 
 	cfg := bench.DefaultConfig()
 	if *quick {
@@ -88,8 +97,11 @@ func main() {
 		}
 	}
 
+	if *logFmt != "" {
+		cfg.Logger = obs.NewLoggerWriter(os.Stderr, *logFmt, nil)
+	}
 	var tr *obs.Tracer
-	if *tracePath != "" || *metrics || *pprofAddr != "" {
+	if *tracePath != "" || *metrics || *serveAddr != "" {
 		tr = obs.NewTracer()
 		tr.SetMeta("tool", "imbench")
 		tr.SetMeta("experiments", strings.Join(ids, ","))
@@ -98,24 +110,29 @@ func main() {
 		tr.SetMeta("seed", *seed)
 		cfg.Tracer = tr
 	}
-	if *pprofAddr != "" {
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			if err := tr.Metrics().WritePrometheus(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		})
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "imbench: pprof server: %v\n", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "imbench: pprof/expvar on %s (/debug/pprof, /debug/vars, /metrics)\n", *pprofAddr)
+	var plane *serve.Plane
+	if *serveAddr != "" {
+		plane = serve.New(tr)
+		addr, err := plane.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { _ = plane.Close() }()
+		plane.SetGraphLoaded(true) // imbench synthesises graphs per experiment
+		fmt.Fprintf(os.Stderr, "imbench: serving telemetry on %s (/metrics /healthz /readyz /progress /report /debug)\n", addr)
 	}
 
 	for _, id := range ids {
 		span := tr.Span(id)
+		if plane != nil {
+			plane.RunStarted()
+		}
 		_, err := bench.Experiments[id](cfg, os.Stdout)
 		span.End()
+		if plane != nil {
+			plane.RunFinished()
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "imbench: %s: %v\n", id, err)
 			os.Exit(1)

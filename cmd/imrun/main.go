@@ -16,24 +16,27 @@
 //	-workers RR-generation parallelism (0 = GOMAXPROCS)
 //	-mc      forward simulations for the final spread estimate (0 = skip)
 //	-lt      run under the Linear Threshold model (imm/ssa/opimc only)
+//	-repeat  run the algorithm this many times (1 = once; higher values
+//	         exercise the live telemetry plane on long runs)
 //	-out     write the seed set to this file (one id per line)
 //	-trace   write the schema-versioned JSON run report to this file
 //	-metrics dump Prometheus-style metrics to stderr after the run
 //	-json    emit the full Result plus run report as one JSON object
-//	-pprof   serve net/http/pprof and expvar on this address (e.g. :6060)
+//	-log     emit structured run events on stderr: "text" or "json"
+//	-serve   serve the live telemetry plane on this address (e.g. :6060):
+//	         /metrics, /healthz, /readyz, /progress, /report, /debug/*
+//	-pprof   deprecated alias for -serve
 package main
 
 import (
 	"encoding/json"
-	"expvar"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"subsim"
+	"subsim/internal/obs/serve"
 	"subsim/internal/seedio"
 )
 
@@ -74,11 +77,14 @@ func main() {
 	workers := flag.Int("workers", 0, "RR generation workers (0 = GOMAXPROCS)")
 	mc := flag.Int("mc", 10000, "forward simulations for spread estimate (0 = skip)")
 	lt := flag.Bool("lt", false, "use the Linear Threshold model")
+	repeat := flag.Int("repeat", 1, "run the algorithm this many times")
 	out := flag.String("out", "", "write the seed set to this file (one id per line)")
 	tracePath := flag.String("trace", "", "write the JSON run report to this file")
 	metrics := flag.Bool("metrics", false, "dump Prometheus-style metrics to stderr")
 	jsonOut := flag.Bool("json", false, "emit Result + run report as one JSON object on stdout")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	logFmt := flag.String("log", "", "structured run events on stderr: text or json")
+	serveAddr := flag.String("serve", "", "serve the live telemetry plane on this address")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -serve")
 	flag.Parse()
 
 	if *graphPath == "" {
@@ -90,57 +96,78 @@ func main() {
 		fmt.Fprintf(os.Stderr, "imrun: unknown -alg %q\n", *algName)
 		os.Exit(2)
 	}
+	if *serveAddr == "" && *pprofAddr != "" {
+		fmt.Fprintln(os.Stderr, "imrun: -pprof is deprecated, use -serve")
+		*serveAddr = *pprofAddr
+	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
+
+	opt := subsim.Options{K: *k, Eps: *eps, Seed: *seed, Workers: *workers}
+	if *logFmt != "" {
+		opt.Logger = subsim.NewLogger(os.Stderr, *logFmt)
+	}
+
+	// Any observability consumer turns the tracer on; a nil tracer costs
+	// nothing otherwise.
+	var tr *subsim.Tracer
+	if *tracePath != "" || *metrics || *jsonOut || *serveAddr != "" {
+		tr = subsim.NewTracer()
+		tr.SetMeta("algorithm", alg.String())
+		tr.SetMeta("graph", *graphPath)
+		tr.SetMeta("k", *k)
+		tr.SetMeta("eps", *eps)
+		tr.SetMeta("seed", *seed)
+		opt.Tracer = tr
+	}
+
+	// The telemetry plane serves /metrics, /healthz, /readyz, /progress,
+	// /report and /debug/* off one mux; it only reads the tracer's atomic
+	// live paths, so scraping never perturbs the run.
+	var plane *serve.Plane
+	if *serveAddr != "" {
+		plane = serve.New(tr)
+		addr, err := plane.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imrun: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { _ = plane.Close() }()
+		fmt.Fprintf(os.Stderr, "imrun: serving telemetry on %s (/metrics /healthz /readyz /progress /report /debug)\n", addr)
+	}
 
 	g, err := subsim.LoadGraph(*graphPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imrun: %v\n", err)
 		os.Exit(1)
 	}
-	opt := subsim.Options{K: *k, Eps: *eps, Seed: *seed, Workers: *workers}
-
-	// Any observability consumer turns the tracer on; a nil tracer costs
-	// nothing otherwise.
-	var tr *subsim.Tracer
-	if *tracePath != "" || *metrics || *jsonOut || *pprofAddr != "" {
-		tr = subsim.NewTracer()
-		tr.SetMeta("algorithm", alg.String())
-		tr.SetMeta("graph", *graphPath)
+	if tr != nil {
 		tr.SetMeta("graph_n", g.N())
 		tr.SetMeta("graph_m", g.M())
-		tr.SetMeta("k", *k)
-		tr.SetMeta("eps", *eps)
-		tr.SetMeta("seed", *seed)
-		opt.Tracer = tr
 	}
-	if *pprofAddr != "" {
-		// net/http/pprof and expvar register on the default mux; expose
-		// the live metric dump alongside them.
-		expvar.Publish("subsim_metrics", expvar.Func(func() any {
-			return tr.Report()
-		}))
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			if err := tr.Metrics().WritePrometheus(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		})
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "imrun: pprof server: %v\n", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "imrun: pprof/expvar on %s (/debug/pprof, /debug/vars, /metrics)\n", *pprofAddr)
+	if plane != nil {
+		plane.SetGraphLoaded(true)
 	}
 
 	var res *subsim.Result
-	if *lt {
-		g.AssignLT()
-		res, err = subsim.MaximizeWith(subsim.NewRRGenerator(g, subsim.GenLT), alg, opt)
-	} else {
-		res, err = subsim.Maximize(g, alg, opt)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "imrun: %v\n", err)
-		os.Exit(1)
+	for rep := 0; rep < *repeat; rep++ {
+		if plane != nil {
+			plane.RunStarted()
+		}
+		if *lt {
+			g.AssignLT()
+			res, err = subsim.MaximizeWith(subsim.NewRRGenerator(g, subsim.GenLT), alg, opt)
+		} else {
+			res, err = subsim.Maximize(g, alg, opt)
+		}
+		if plane != nil {
+			plane.RunFinished()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imrun: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	var spread *float64

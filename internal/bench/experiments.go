@@ -53,6 +53,9 @@ type Config struct {
 	// the per-algorithm phase spans and RR metrics of every run it times.
 	// Nil disables all instrumentation at zero cost.
 	Tracer *obs.Tracer
+	// Logger, when non-nil, receives structured run events from every
+	// timed run (see obs.Logger); nil is silent at zero cost.
+	Logger *obs.Logger
 }
 
 // DefaultConfig returns a full-reproduction configuration at laptop
@@ -98,7 +101,7 @@ func (c *Config) datasets() []Dataset {
 }
 
 func (c *Config) options(k int) im.Options {
-	return im.Options{K: k, Eps: c.Eps, Delta: c.Delta, Seed: c.Seed, Workers: c.Workers, Tracer: c.Tracer}
+	return im.Options{K: k, Eps: c.Eps, Delta: c.Delta, Seed: c.Seed, Workers: c.Workers, Tracer: c.Tracer, Logger: c.Logger}
 }
 
 // highTarget caps the θ₄ₖ-style calibration target so it stays a feasible

@@ -94,6 +94,7 @@ func HIST(gen rrset.Generator, opt im.Options) (*im.Result, error) {
 
 	tr := opt.Tracer
 	run := tr.Span("hist")
+	opt.Logger.RunStart("hist", n, g.M(), opt.K, opt.Eps, opt.Seed, opt.Workers)
 	phase1 := run.Child("sentinel-phase")
 	sentinels, p1 := sentinelSet(gen, opt, phase1, eps1, delta1)
 	phase1.SetInt("sentinels", int64(len(sentinels))).
@@ -101,7 +102,9 @@ func HIST(gen rrset.Generator, opt im.Options) (*im.Result, error) {
 		SetInt("sentinel_hits", p1.stats.SentinelHits).
 		SetInt("rounds", int64(p1.rounds)).
 		End()
+	opt.Logger.PhaseDone("hist", "sentinel-phase", time.Since(start).Nanoseconds()) //lint:allow timing (phase.done log event, observability only)
 
+	phase2start := time.Now() //lint:allow timing (phase.done log event, observability only)
 	phase2 := run.Child("residual-phase")
 	res, err := imSentinel(gen, opt, phase2, sentinels, eps2, delta2)
 	if err != nil {
@@ -117,6 +120,7 @@ func HIST(gen rrset.Generator, opt im.Options) (*im.Result, error) {
 			float64(res.RRStats.SentinelHits)/float64(res.RRStats.Sets))
 	}
 	phase2.SetInt("rounds", int64(res.Rounds)).End()
+	opt.Logger.PhaseDone("hist", "residual-phase", time.Since(phase2start).Nanoseconds()) //lint:allow timing (phase.done log event, observability only)
 
 	res.SentinelRR = p1.rrGenerated
 	res.SentinelSize = len(sentinels)
@@ -124,6 +128,7 @@ func HIST(gen rrset.Generator, opt im.Options) (*im.Result, error) {
 	res.Rounds += p1.rounds
 	run.SetInt("rounds", int64(res.Rounds)).End()
 	res.Elapsed = time.Since(start) //lint:allow timing (wall-clock Elapsed reporting only)
+	opt.Logger.RunDone("hist", res.Rounds, res.RRStats.Sets, res.Influence, res.Elapsed.Nanoseconds())
 	res.Report = tr.Report()
 	return res, nil
 }
@@ -287,8 +292,13 @@ func imSentinel(gen rrset.Generator, opt im.Options, phase *obs.Span, sb []int32
 			res.Approx = res.LowerBound / res.UpperBound
 		}
 		bc.End()
+		opt.Tracer.Metrics().SetBounds(i, res.LowerBound, res.UpperBound, res.Approx)
+		opt.Logger.RoundDone("hist", i, theta1, res.LowerBound, res.UpperBound, res.Approx)
 		rs.SetInt("theta", theta1).SetFloat("approx", res.Approx)
 		if res.Approx > target || i >= iMax {
+			if res.Approx > target {
+				opt.Logger.BoundCrossed("hist", i, res.Approx, target)
+			}
 			rs.End()
 			break
 		}

@@ -47,6 +47,11 @@ type Options struct {
 	// Result.Report. Nil disables all instrumentation at zero cost —
 	// see the obs package's nil-tracer contract.
 	Tracer *obs.Tracer
+	// Logger receives structured run events (run.start, round.done,
+	// bound.crossed, run.done — see obs.Logger's event schema) through
+	// log/slog. Nil — the default — is silent and allocation-free on
+	// every emit site, mirroring the nil-tracer contract.
+	Logger *obs.Logger
 }
 
 func (o *Options) Normalize(n int) error {
@@ -197,7 +202,7 @@ func NewInstrumentedBatcher(gen rrset.Generator, seed uint64, workers int, m *ob
 	}
 	b.spliceHist = &m.Splice
 	for w := range b.gens {
-		b.gens[w] = rrset.Instrument(b.gens[w], m, m.WorkerSets(w))
+		b.gens[w] = rrset.InstrumentWorker(b.gens[w], m, w)
 	}
 	return b
 }

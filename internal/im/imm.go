@@ -39,6 +39,7 @@ func IMM(gen rrset.Generator, opt Options) (*Result, error) {
 
 	tr := opt.Tracer
 	run := tr.Span("imm")
+	opt.Logger.RunStart("imm", n, g.M(), opt.K, opt.Eps, opt.Seed, opt.Workers)
 	b := NewInstrumentedBatcher(gen, opt.Seed, opt.Workers, tr.Metrics())
 	var outDeg []int32
 	if opt.Revised {
@@ -70,8 +71,11 @@ func IMM(gen rrset.Generator, opt Options) (*Result, error) {
 		ss.End()
 		est := float64(n) * float64(sel.TotalCoverage(0)) / float64(idx.NumSets())
 		rs.SetInt("theta", int64(idx.NumSets())).SetFloat("estimate", est).End()
+		tr.Metrics().SetBounds(i, lb, 0, 0)
+		opt.Logger.RoundDone("imm", i, int64(idx.NumSets()), lb, 0, 0)
 		if est >= (1+epsPrime)*x {
 			lb = est / (1 + epsPrime)
+			opt.Logger.BoundCrossed("imm", i, est, (1+epsPrime)*x)
 			break
 		}
 	}
@@ -93,6 +97,7 @@ func IMM(gen rrset.Generator, opt Options) (*Result, error) {
 	res.RRStats = b.Stats()
 	run.SetInt("rounds", int64(res.Rounds)).End()
 	res.Elapsed = time.Since(start) //lint:allow timing (wall-clock Elapsed reporting only)
+	opt.Logger.RunDone("imm", res.Rounds, res.RRStats.Sets, res.Influence, res.Elapsed.Nanoseconds())
 	res.Report = tr.Report()
 	return res, nil
 }

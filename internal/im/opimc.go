@@ -34,6 +34,7 @@ func OPIMC(gen rrset.Generator, opt Options) (*Result, error) {
 
 	tr := opt.Tracer
 	run := tr.Span("opimc")
+	opt.Logger.RunStart("opimc", n, g.M(), opt.K, opt.Eps, opt.Seed, opt.Workers)
 	b := NewInstrumentedBatcher(gen, opt.Seed, opt.Workers, tr.Metrics())
 	var outDeg []int32
 	if opt.Revised {
@@ -67,8 +68,13 @@ func OPIMC(gen rrset.Generator, opt Options) (*Result, error) {
 			res.Approx = res.LowerBound / res.UpperBound
 		}
 		bc.End()
+		tr.Metrics().SetBounds(i, res.LowerBound, res.UpperBound, res.Approx)
+		opt.Logger.RoundDone("opimc", i, int64(idx1.NumSets()), res.LowerBound, res.UpperBound, res.Approx)
 		rs.SetInt("theta", int64(idx1.NumSets())).SetFloat("approx", res.Approx)
 		if res.Approx > target || i >= iMax {
+			if res.Approx > target {
+				opt.Logger.BoundCrossed("opimc", i, res.Approx, target)
+			}
 			rs.End()
 			break
 		}
@@ -82,6 +88,7 @@ func OPIMC(gen rrset.Generator, opt Options) (*Result, error) {
 	res.RRStats = b.Stats()
 	run.SetInt("rounds", int64(res.Rounds)).End()
 	res.Elapsed = time.Since(start) //lint:allow timing (wall-clock Elapsed reporting only)
+	opt.Logger.RunDone("opimc", res.Rounds, res.RRStats.Sets, res.Influence, res.Elapsed.Nanoseconds())
 	res.Report = tr.Report()
 	return res, nil
 }

@@ -52,6 +52,7 @@ func SSA(gen rrset.Generator, opt Options) (*Result, error) {
 
 	tr := opt.Tracer
 	run := tr.Span("ssa")
+	opt.Logger.RunStart("ssa", n, g.M(), opt.K, opt.Eps, opt.Seed, opt.Workers)
 	b := NewInstrumentedBatcher(gen, opt.Seed, opt.Workers, tr.Metrics())
 	var outDeg []int32
 	if opt.Revised {
@@ -88,13 +89,20 @@ func SSA(gen rrset.Generator, opt Options) (*Result, error) {
 		vs := rs.Child("verify")
 		verified, used := b.verify(res.Seeds, upsilon, 2*theta)
 		vs.SetInt("covered", verified).SetInt("used", used).End()
+		crossed := false
 		if used > 0 {
 			est := float64(verified) * float64(n) / float64(used)
 			res.LowerBound = bounds.LowerBound(verified, used, n, deltaIter)
-			if verified >= upsilon && est >= covEst/(1+eps1) {
-				rs.End()
-				break
+			crossed = verified >= upsilon && est >= covEst/(1+eps1)
+			if crossed {
+				opt.Logger.BoundCrossed("ssa", t, est, covEst/(1+eps1))
 			}
+		}
+		tr.Metrics().SetBounds(t, res.LowerBound, 0, 0)
+		opt.Logger.RoundDone("ssa", t, int64(idx.NumSets()), res.LowerBound, 0, 0)
+		if crossed {
+			rs.End()
+			break
 		}
 		rs.End()
 		theta *= 2
@@ -102,6 +110,7 @@ func SSA(gen rrset.Generator, opt Options) (*Result, error) {
 	res.RRStats = b.Stats()
 	run.SetInt("rounds", int64(res.Rounds)).End()
 	res.Elapsed = time.Since(start) //lint:allow timing (wall-clock Elapsed reporting only)
+	opt.Logger.RunDone("ssa", res.Rounds, res.RRStats.Sets, res.Influence, res.Elapsed.Nanoseconds())
 	res.Report = tr.Report()
 	return res, nil
 }

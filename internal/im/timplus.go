@@ -36,6 +36,7 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 
 	tr := opt.Tracer
 	run := tr.Span("timplus")
+	opt.Logger.RunStart("timplus", n, g.M(), opt.K, opt.Eps, opt.Seed, opt.Workers)
 	b := NewInstrumentedBatcher(gen, opt.Seed, opt.Workers, tr.Metrics())
 	var outDeg []int32
 	if opt.Revised {
@@ -87,8 +88,11 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 			continue
 		}
 		avg := kappaSum / float64(measured)
+		tr.Metrics().SetBounds(i, kpt, 0, 0)
+		opt.Logger.RoundDone("timplus", i, int64(idx.NumSets()), kpt, 0, 0)
 		if avg > 1/math.Pow(2, float64(i)) {
 			kpt = avg * float64(n) / 2
+			opt.Logger.BoundCrossed("timplus", i, avg, 1/math.Pow(2, float64(i)))
 			break
 		}
 	}
@@ -132,6 +136,7 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 	res.RRStats = b.Stats()
 	run.SetInt("rounds", int64(res.Rounds)).End()
 	res.Elapsed = time.Since(start) //lint:allow timing (wall-clock Elapsed reporting only)
+	opt.Logger.RunDone("timplus", res.Rounds, res.RRStats.Sets, res.Influence, res.Elapsed.Nanoseconds())
 	res.Report = tr.Report()
 	return res, nil
 }

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Logger is the nil-safe structured event logger of the observability
+// layer, a thin veneer over log/slog. A nil *Logger is the disabled
+// instance: every method returns immediately, and because the event
+// methods take concrete-typed arguments (no variadic ...any), the
+// disabled path boxes nothing and allocates nothing — the logging twin
+// of the nil-tracer contract.
+//
+// Event schema (see DESIGN.md "Structured log events"): every record
+// carries msg ∈ {run.start, round.done, bound.crossed, phase.done,
+// run.done} plus the attribute columns alg, phase, round, theta, lower,
+// upper, approx, target, sets, influence, elapsed_ns as applicable.
+// Algorithms emit one round.done per doubling round and one
+// bound.crossed when the certified ratio clears the stopping target —
+// quiet by default (nil logger), one line per round when enabled.
+type Logger struct {
+	sl *slog.Logger
+}
+
+// NewLogger wraps an slog handler. A nil handler returns a nil (i.e.
+// disabled) logger.
+func NewLogger(h slog.Handler) *Logger {
+	if h == nil {
+		return nil
+	}
+	return &Logger{sl: slog.New(h)}
+}
+
+// NewLoggerWriter builds a logger writing to w in the given format:
+// "json" for slog's JSONHandler, anything else for the TextHandler.
+// Returns nil (disabled) for a nil writer.
+func NewLoggerWriter(w io.Writer, format string, level slog.Leveler) *Logger {
+	if w == nil {
+		return nil
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	if format == "json" {
+		return NewLogger(slog.NewJSONHandler(w, opts))
+	}
+	return NewLogger(slog.NewTextHandler(w, opts))
+}
+
+// Slog exposes the underlying slog.Logger (nil for a disabled logger).
+func (l *Logger) Slog() *slog.Logger {
+	if l == nil {
+		return nil
+	}
+	return l.sl
+}
+
+// With returns a logger whose records carry the extra attributes, or nil
+// when l is disabled.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{sl: l.sl.With(args...)}
+}
+
+// Event emits a generic info-level record. Not for hot paths: the
+// variadic args box even when unused — use the typed emitters below
+// anywhere performance matters.
+func (l *Logger) Event(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.sl.Info(msg, args...)
+}
+
+// RunStart records the parameters of one algorithm run.
+func (l *Logger) RunStart(alg string, n int, m int64, k int, eps float64, seed uint64, workers int) {
+	if l == nil {
+		return
+	}
+	l.sl.Info("run.start",
+		slog.String("alg", alg),
+		slog.Int("graph_n", n),
+		slog.Int64("graph_m", m),
+		slog.Int("k", k),
+		slog.Float64("eps", eps),
+		slog.Uint64("seed", seed),
+		slog.Int("workers", workers))
+}
+
+// RoundDone records a completed doubling round: the collection size and
+// the certified bounds as of this round (zero when the algorithm does
+// not certify them).
+func (l *Logger) RoundDone(alg string, round int, theta int64, lower, upper, approx float64) {
+	if l == nil {
+		return
+	}
+	l.sl.Info("round.done",
+		slog.String("alg", alg),
+		slog.Int("round", round),
+		slog.Int64("theta", theta),
+		slog.Float64("lower", lower),
+		slog.Float64("upper", upper),
+		slog.Float64("approx", approx))
+}
+
+// BoundCrossed records the stopping event: the certified approximation
+// ratio cleared the target at the given round.
+func (l *Logger) BoundCrossed(alg string, round int, approx, target float64) {
+	if l == nil {
+		return
+	}
+	l.sl.Info("bound.crossed",
+		slog.String("alg", alg),
+		slog.Int("round", round),
+		slog.Float64("approx", approx),
+		slog.Float64("target", target))
+}
+
+// PhaseDone records the completion of a named phase (HIST's
+// sentinel/residual phases, IMM's estimation/selection phases).
+func (l *Logger) PhaseDone(alg, phase string, durNS int64) {
+	if l == nil {
+		return
+	}
+	l.sl.Info("phase.done",
+		slog.String("alg", alg),
+		slog.String("phase", phase),
+		slog.Int64("elapsed_ns", durNS))
+}
+
+// RunDone records the completion of one run.
+func (l *Logger) RunDone(alg string, rounds int, sets int64, influence float64, elapsedNS int64) {
+	if l == nil {
+		return
+	}
+	l.sl.Info("run.done",
+		slog.String("alg", alg),
+		slog.Int("rounds", rounds),
+		slog.Int64("sets", sets),
+		slog.Float64("influence", influence),
+		slog.Int64("elapsed_ns", elapsedNS))
+}

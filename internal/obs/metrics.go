@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,51 @@ func (c *Counter) Load() int64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// Gauge is an atomically settable float64 value (latest-wins) for live
+// progress signals such as the certified bounds. All methods are
+// nil-safe no-ops; the zero value reads as 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Load returns the current value (0 for a nil gauge).
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// IntGauge is an atomically settable int64 value (latest-wins), used for
+// "current round" style progress. All methods are nil-safe no-ops.
+type IntGauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *IntGauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Load returns the current value (0 for a nil gauge).
+func (g *IntGauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
 }
 
 // NumBuckets is the fixed bucket count of Histogram: bucket 0 holds
@@ -192,8 +238,18 @@ type MetricSet struct {
 	// index builds; with Nodes it yields the indexing amplification.
 	IndexEntries Counter
 
-	mu      sync.Mutex
-	workers []*Counter
+	// Lower, Upper and Approx are the live certified bounds (Equations
+	// 1/2) as of the most recent bound-check, published by the algorithms
+	// through SetBounds so the /progress endpoint can watch them tighten
+	// mid-run. Round is the doubling round that produced them.
+	Lower  Gauge
+	Upper  Gauge
+	Approx Gauge
+	Round  IntGauge
+
+	mu         sync.Mutex
+	workers    []*Counter
+	workerBusy []*Counter
 }
 
 // NewMetricSet returns an empty, enabled metric set.
@@ -226,4 +282,55 @@ func (m *MetricSet) WorkerSnapshot() []int64 {
 		out[i] = c.Load()
 	}
 	return out
+}
+
+// WorkerBusyNS returns the busy-nanoseconds counter of worker w, growing
+// the vector as needed. The rrset.Instrument wrapper adds each set's
+// generation duration to it, so busy_ns / wall-clock is the worker's
+// sampling utilization. Returns nil (a no-op counter) on a nil set or a
+// negative index.
+func (m *MetricSet) WorkerBusyNS(w int) *Counter {
+	if m == nil || w < 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.workerBusy) <= w {
+		m.workerBusy = append(m.workerBusy, &Counter{})
+	}
+	return m.workerBusy[w]
+}
+
+// WorkerBusySnapshot returns the per-worker busy-nanosecond totals
+// (nil when no worker ever recorded busy time).
+func (m *MetricSet) WorkerBusySnapshot() []int64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.workerBusy) == 0 {
+		return nil
+	}
+	out := make([]int64, len(m.workerBusy))
+	for i, c := range m.workerBusy {
+		out[i] = c.Load()
+	}
+	return out
+}
+
+// SetBounds publishes the latest certified bounds and the round that
+// produced them; the live /progress endpoint reads them back. Nil-safe,
+// allocation-free: four atomic stores. Round is stored last so a
+// reader that observes round i sees bounds from round i or newer —
+// never a fresh round number over stale bounds (the ordering contract
+// documented in DESIGN.md "Live telemetry plane").
+func (m *MetricSet) SetBounds(round int, lower, upper, approx float64) {
+	if m == nil {
+		return
+	}
+	m.Lower.Set(lower)
+	m.Upper.Set(upper)
+	m.Approx.Set(approx)
+	m.Round.Set(int64(round))
 }

@@ -1,40 +1,63 @@
 // Package obs is the repository's dependency-free observability layer:
-// phase spans, low-overhead metrics, and machine-readable run reports.
+// phase spans, low-overhead metrics, structured run logging, and
+// machine-readable run reports.
 //
 // The paper's headline claims are cost claims — SUBSIM's edge-examination
 // count (Lemma 4) and HIST's average-RR-size reduction (Figure 3b) — so
 // the algorithms need visibility into where time and samples go: per
 // doubling round, per HIST phase, per worker, and per RR set. This
-// package provides three pieces:
+// package provides four pieces:
 //
 //   - Tracer / Span: nested, timestamped phase spans ("sampling",
 //     "selection", "bound-check", "sentinel-phase", "residual-phase",
 //     one span per doubling round) with attached key/value attributes.
-//   - MetricSet: atomic counters and fixed-bucket power-of-two
+//   - MetricSet: atomic counters, gauges and fixed-bucket power-of-two
 //     histograms (RR set size, edge examinations per set, geometric-skip
-//     lengths, per-worker sets generated) cheap enough to stay on in the
-//     RR-generation hot path.
+//     lengths, per-worker sets generated and busy time, live certified
+//     bounds) cheap enough to stay on in the RR-generation hot path.
+//   - Logger: a nil-safe structured event logger over log/slog
+//     (see log.go) for round-boundary and bound-crossing events.
 //   - Report: a schema-versioned JSON run report (see report.go) and a
-//     Prometheus-style text dump (see prom.go).
+//     Prometheus-style text dump (see prom.go). The live HTTP telemetry
+//     plane over all of the above lives in the obs/serve subpackage.
 //
 // # The nil-tracer zero-overhead contract
 //
-// Every method of Tracer, Span, Counter and Histogram is safe to call on
-// a nil receiver and is a no-op there. A nil *Tracer therefore threads
-// through im.Options at zero cost: span creation returns nil without
-// allocating, attribute setters return immediately, and the
-// rrset.Instrument wrapper unwraps to the bare generator when handed a
-// nil MetricSet. Instrumented code never needs an "is tracing enabled?"
-// branch of its own.
+// Every method of Tracer, Span, Logger, Counter, Gauge and Histogram is
+// safe to call on a nil receiver and is a no-op there. A nil *Tracer
+// therefore threads through im.Options at zero cost: span creation
+// returns nil without allocating, attribute setters return immediately,
+// and the rrset.Instrument wrapper unwraps to the bare generator when
+// handed a nil MetricSet. Instrumented code never needs an "is tracing
+// enabled?" branch of its own.
 //
-// Tracer and Span creation/attribute methods are intended for the
-// single-goroutine coordinator loop of each algorithm; MetricSet
-// instruments are fully concurrent (atomic) and shared by all workers.
+// # Live reads and memory ordering
+//
+// Spans are written by exactly one goroutine — the single-goroutine
+// coordinator loop of each algorithm — but may be *read* concurrently
+// and lock-free by the live telemetry plane (obs/serve's /progress and
+// /report endpoints) while the run is still in flight. The contract:
+//
+//   - name and startNS are immutable after the span is published.
+//   - endNS is an atomic: writers Store it once in End, readers Load it
+//     (0 means "still open").
+//   - attrs and children are atomic.Pointer slices updated copy-on-write
+//     by the single writer: the writer builds a new slice, then publishes
+//     it with an atomic Store (release); readers Load (acquire) and never
+//     mutate what they see. The slice contents are therefore immutable
+//     once published, and a reader sees a fully initialised child because
+//     the child's fields are written before the pointer store.
+//   - the root-span list is guarded by the tracer mutex; LiveSpans copies
+//     it under the lock and then walks the tree lock-free.
+//
+// MetricSet instruments are fully concurrent (atomic) and shared by all
+// workers.
 package obs
 
 import (
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -46,14 +69,17 @@ type Attr struct {
 
 // Span is one timed phase of a run. Spans nest: obtain children with
 // Child. All methods are nil-safe no-ops, so code instrumented against a
-// nil Tracer pays nothing.
+// nil Tracer pays nothing. A span is mutated by one goroutine only but
+// may be read concurrently — see the package comment's memory-ordering
+// contract.
 type Span struct {
-	tracer   *Tracer
-	name     string
-	startNS  int64 // nanos since the tracer epoch
-	endNS    int64 // 0 while the span is open
-	attrs    []Attr
-	children []*Span
+	tracer  *Tracer
+	name    string
+	startNS int64        // nanos since the tracer epoch; immutable
+	endNS   atomic.Int64 // 0 while the span is open
+
+	attrs    atomic.Pointer[[]Attr]
+	children atomic.Pointer[[]*Span]
 }
 
 // Tracer records a tree of spans plus a MetricSet for one run. Construct
@@ -110,6 +136,24 @@ func (t *Tracer) SetMeta(key string, value any) {
 	t.mu.Unlock()
 }
 
+// MetaSnapshot copies the run-level metadata (nil for a nil tracer or
+// when no metadata was set).
+func (t *Tracer) MetaSnapshot() map[string]any {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.meta) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(t.meta))
+	for k, v := range t.meta {
+		out[k] = v
+	}
+	return out
+}
+
 func (t *Tracer) now() int64 {
 	t.mu.Lock()
 	fn := t.clock
@@ -131,13 +175,26 @@ func (t *Tracer) Span(name string) *Span {
 }
 
 // Child opens a nested span under s. Returns nil on a nil span, so
-// chains rooted in a nil tracer stay allocation-free.
+// chains rooted in a nil tracer stay allocation-free. Child must be
+// called from the span's owning goroutine (the single writer).
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	c := &Span{tracer: s.tracer, name: name, startNS: s.tracer.now()}
-	s.children = append(s.children, c)
+	// Copy-on-write append: build the new slice fully, then publish it
+	// with one atomic store so lock-free readers never observe a
+	// half-appended list.
+	old := s.children.Load()
+	var next []*Span
+	if old == nil {
+		next = []*Span{c}
+	} else {
+		next = make([]*Span, len(*old)+1)
+		copy(next, *old)
+		next[len(*old)] = c
+	}
+	s.children.Store(&next)
 	return c
 }
 
@@ -145,10 +202,28 @@ func (s *Span) Child(name string) *Span {
 // time. Spans still open when the report is built are closed at report
 // time.
 func (s *Span) End() {
-	if s == nil || s.endNS != 0 {
+	if s == nil {
 		return
 	}
-	s.endNS = s.tracer.now()
+	s.endNS.CompareAndSwap(0, s.tracer.now())
+}
+
+// EndNS returns the span's end offset in nanoseconds since the trace
+// epoch, or 0 while the span is still open. Safe to call concurrently
+// with the owning goroutine.
+func (s *Span) EndNS() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.endNS.Load()
+}
+
+// Name returns the span name ("" for a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
 }
 
 // SetAttr attaches a key/value to the span and returns s for chaining.
@@ -156,7 +231,16 @@ func (s *Span) SetAttr(key string, value any) *Span {
 	if s == nil {
 		return nil
 	}
-	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	old := s.attrs.Load()
+	var next []Attr
+	if old == nil {
+		next = []Attr{{Key: key, Value: value}}
+	} else {
+		next = make([]Attr, len(*old)+1)
+		copy(next, *old)
+		next[len(*old)] = Attr{Key: key, Value: value}
+	}
+	s.attrs.Store(&next)
 	return s
 }
 
@@ -175,6 +259,32 @@ func (s *Span) SetFloat(key string, v float64) *Span {
 		return nil
 	}
 	return s.SetAttr(key, v)
+}
+
+// liveAttrs returns the currently published attribute slice (read-only).
+func (s *Span) liveAttrs() []Attr {
+	if p := s.attrs.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// liveChildren returns the currently published child slice (read-only).
+func (s *Span) liveChildren() []*Span {
+	if p := s.children.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// liveRoots copies the root-span list under the tracer lock; the
+// returned slice is safe to walk lock-free.
+func (t *Tracer) liveRoots() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.roots))
+	copy(out, t.roots)
+	return out
 }
 
 // roundNames caches the common doubling-round span names so per-round

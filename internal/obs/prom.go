@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 )
 
 // WritePrometheus dumps the metric set in the Prometheus text exposition
@@ -27,6 +28,21 @@ func (m *MetricSet) WritePrometheus(w io.Writer) error {
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			c.name, c.help, c.name, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	gauges := []struct {
+		name, help string
+		v          float64
+	}{
+		{"subsim_bound_lower", "Live certified influence lower bound (Eq. 1).", m.Lower.Load()},
+		{"subsim_bound_upper", "Live certified optimum upper bound (Eq. 2).", m.Upper.Load()},
+		{"subsim_bound_approx", "Live certified approximation ratio (lower/upper).", m.Approx.Load()},
+		{"subsim_round", "Doubling round of the latest bound-check.", float64(m.Round.Load())},
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			g.name, g.help, g.name, g.name, formatPromFloat(g.v)); err != nil {
 			return err
 		}
 	}
@@ -58,7 +74,28 @@ func (m *MetricSet) WritePrometheus(w io.Writer) error {
 			}
 		}
 	}
+	if busy := m.WorkerBusySnapshot(); len(busy) > 0 {
+		name := "subsim_worker_busy_ns_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s Nanoseconds each worker spent generating RR sets.\n# TYPE %s counter\n", name, name); err != nil {
+			return err
+		}
+		for wkr, v := range busy {
+			if _, err := fmt.Fprintf(w, "%s{worker=\"%d\"} %d\n", name, wkr, v); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// formatPromFloat renders a float in the exposition format: integral
+// values print without an exponent so the common zero/round cases stay
+// human-readable and stable for golden tests.
+func formatPromFloat(v float64) string {
+	if v >= -1e15 && v <= 1e15 && v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 func writePromHistogram(w io.Writer, name, help string, h *Histogram) error {

@@ -15,11 +15,14 @@ const (
 )
 
 // SpanSnapshot is one span in a report: name, offset from the trace
-// epoch, duration, attributes, and nested children.
+// epoch, duration, attributes, and nested children. Open is only ever
+// true in *live* snapshots (Tracer.LiveSpans); final run reports close
+// every span.
 type SpanSnapshot struct {
 	Name       string          `json:"name"`
 	StartNS    int64           `json:"start_ns"`
 	DurationNS int64           `json:"duration_ns"`
+	Open       bool            `json:"open,omitempty"`
 	Attrs      map[string]any  `json:"attrs,omitempty"`
 	Children   []*SpanSnapshot `json:"children,omitempty"`
 }
@@ -58,8 +61,10 @@ type Report struct {
 	Meta       map[string]any               `json:"meta,omitempty"`
 	Spans      []*SpanSnapshot              `json:"spans,omitempty"`
 	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	WorkerSets []int64                      `json:"worker_sets,omitempty"`
+	WorkerBusy []int64                      `json:"worker_busy_ns,omitempty"`
 }
 
 // Report snapshots the tracer into a schema-versioned document. Open
@@ -94,6 +99,14 @@ func (t *Tracer) Report() *Report {
 		"sentinel_hits_total":     m.SentinelHits.Load(),
 		"index_entries_total":     m.IndexEntries.Load(),
 	}
+	if lower, upper, approx, round := m.Lower.Load(), m.Upper.Load(), m.Approx.Load(), m.Round.Load(); lower != 0 || upper != 0 || approx != 0 || round != 0 {
+		r.Gauges = map[string]float64{
+			"bound_lower": lower,
+			"bound_upper": upper,
+			"approx":      approx,
+			"round":       float64(round),
+		}
+	}
 	r.Histograms = map[string]HistogramSnapshot{
 		"rr_size":                 m.RRSize.Snapshot(),
 		"rr_edges_per_set":        m.EdgesPerSet.Snapshot(),
@@ -104,26 +117,47 @@ func (t *Tracer) Report() *Report {
 		"splice_ns":               m.Splice.Snapshot(),
 	}
 	r.WorkerSets = m.WorkerSnapshot()
+	r.WorkerBusy = m.WorkerBusySnapshot()
 	return r
 }
 
+// LiveSpans snapshots the span forest *without* waiting for the run to
+// finish: still-open spans are reported with their duration so far and
+// Open=true. The walk is lock-free over the copy-on-write span fields —
+// see the package comment's memory-ordering contract — so it is safe to
+// call from a scrape handler while the run's coordinator goroutine keeps
+// opening and closing spans. Returns nil on a nil tracer.
+func (t *Tracer) LiveSpans() []*SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	now := t.now()
+	var out []*SpanSnapshot
+	for _, s := range t.liveRoots() {
+		out = append(out, snapshotSpan(s, now))
+	}
+	return out
+}
+
 func snapshotSpan(s *Span, now int64) *SpanSnapshot {
-	end := s.endNS
-	if end == 0 {
+	end := s.endNS.Load()
+	open := end == 0
+	if open {
 		end = now
 	}
 	out := &SpanSnapshot{
 		Name:       s.name,
 		StartNS:    s.startNS,
 		DurationNS: end - s.startNS,
+		Open:       open,
 	}
-	if len(s.attrs) > 0 {
-		out.Attrs = make(map[string]any, len(s.attrs))
-		for _, a := range s.attrs {
+	if attrs := s.liveAttrs(); len(attrs) > 0 {
+		out.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
 			out.Attrs[a.Key] = a.Value
 		}
 	}
-	for _, c := range s.children {
+	for _, c := range s.liveChildren() {
 		out.Children = append(out.Children, snapshotSpan(c, now))
 	}
 	return out

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"subsim/internal/graph"
+	"subsim/internal/im"
+	"subsim/internal/obs"
+	"subsim/internal/rng"
+	"subsim/internal/rrset"
+)
+
+// TestConcurrentScrapeDuringRun is the live-read contract test: an
+// OPIM-C run with 8 generation workers races against goroutines hammering
+// /metrics, /progress(?spans=1) and /report the whole time. Under -race
+// this proves the scrape path never trips over the run's span and metric
+// writes, and the assertions prove the scraped counters are monotone and
+// parse as the documents they claim to be.
+func TestConcurrentScrapeDuringRun(t *testing.T) {
+	g, err := graph.GenPreferentialAttachment(3000, 4, false, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AssignWC()
+
+	tr := obs.NewTracer()
+	p := New(tr)
+	p.SetGraphLoaded(true)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var scrapes int
+	var lastSets int64
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Errorf(format, args...)
+	}
+
+	scrape := func(path string, check func(body []byte)) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(srv.URL + path)
+			if err != nil {
+				fail("%s: %v", path, err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if err != nil {
+				fail("%s read: %v", path, err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				fail("%s status %d", path, resp.StatusCode)
+				return
+			}
+			if check != nil {
+				check(body)
+			}
+			mu.Lock()
+			scrapes++
+			mu.Unlock()
+		}
+	}
+
+	wg.Add(3)
+	go scrape("/metrics", func(body []byte) {
+		// rr_sets_total must be present and monotone across scrapes.
+		for _, line := range strings.Split(string(body), "\n") {
+			if v, ok := strings.CutPrefix(line, "subsim_rr_sets_total "); ok {
+				sets, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+				if err != nil {
+					fail("parse rr_sets_total %q: %v", v, err)
+					return
+				}
+				mu.Lock()
+				if sets < lastSets {
+					t.Errorf("rr_sets_total went backwards: %d -> %d", lastSets, sets)
+				}
+				lastSets = sets
+				mu.Unlock()
+				return
+			}
+		}
+		fail("scrape missing subsim_rr_sets_total")
+	})
+	go scrape("/progress?spans=1", func(body []byte) {
+		var prog Progress
+		if err := json.Unmarshal(body, &prog); err != nil {
+			fail("progress unmarshal: %v", err)
+		}
+	})
+	go scrape("/report", func(body []byte) {
+		var rep obs.Report
+		if err := json.Unmarshal(body, &rep); err != nil {
+			fail("report unmarshal: %v", err)
+		}
+	})
+
+	res, err := im.OPIMC(rrset.NewSubsim(g), im.Options{
+		K: 20, Eps: 0.3, Seed: 42, Workers: 8, Tracer: tr,
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 20 {
+		t.Fatalf("got %d seeds", len(res.Seeds))
+	}
+	if scrapes == 0 {
+		t.Error("no scrape completed during the run")
+	}
+	// After the run the live view agrees with the final report.
+	final := tr.Metrics().Sets.Load()
+	if final < lastSets {
+		t.Errorf("final sets %d < last scraped %d", final, lastSets)
+	}
+	if prog := p.Snapshot(false); prog.RRSets != final {
+		t.Errorf("snapshot sets %d != metric %d", prog.RRSets, final)
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"subsim/internal/obs"
+)
+
+// ProgressSchema identifies the /progress JSON document.
+const (
+	ProgressSchema        = "subsim.progress"
+	ProgressSchemaVersion = 1
+)
+
+// Progress is the live view of a run: where it is (deepest open phase
+// span), how far it got (rounds, RR sets) and how tight the certified
+// bounds are. Every numeric field is read from the atomic live paths of
+// the obs layer — building a Progress never blocks the run.
+type Progress struct {
+	Schema        string  `json:"schema"`
+	Version       int     `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GraphLoaded   bool    `json:"graph_loaded"`
+	RunsStarted   int64   `json:"runs_started"`
+	RunsFinished  int64   `json:"runs_finished"`
+
+	// Phase is the slash-joined path of open spans ("hist/residual-
+	// phase/round-3"), or "" when no span is open (idle / run finished).
+	Phase string `json:"phase"`
+	// Round is the doubling round of the latest bound-check.
+	Round int64 `json:"round"`
+
+	RRSets        int64 `json:"rr_sets"`
+	RRNodes       int64 `json:"rr_nodes"`
+	EdgesExamined int64 `json:"edges_examined"`
+	SentinelHits  int64 `json:"sentinel_hits"`
+
+	LowerBound float64 `json:"lower_bound"`
+	UpperBound float64 `json:"upper_bound"`
+	Approx     float64 `json:"approx"`
+
+	WorkerSets []int64        `json:"worker_sets,omitempty"`
+	Meta       map[string]any `json:"meta,omitempty"`
+
+	// Spans is the live span forest (only with ?spans=1; open spans
+	// carry "open": true and their duration so far).
+	Spans []*obs.SpanSnapshot `json:"spans,omitempty"`
+}
+
+// Snapshot builds the current progress view.
+func (p *Plane) Snapshot(withSpans bool) Progress {
+	tr := p.tracer
+	prog := Progress{
+		Schema:        ProgressSchema,
+		Version:       ProgressSchemaVersion,
+		UptimeSeconds: p.uptime().Seconds(),
+		GraphLoaded:   p.graphLoaded.Load(),
+		RunsStarted:   p.runsStarted.Load(),
+		RunsFinished:  p.runsFinished.Load(),
+		Meta:          tr.MetaSnapshot(),
+	}
+	if m := tr.Metrics(); m != nil {
+		prog.Round = m.Round.Load()
+		prog.RRSets = m.Sets.Load()
+		prog.RRNodes = m.Nodes.Load()
+		prog.EdgesExamined = m.Edges.Load()
+		prog.SentinelHits = m.SentinelHits.Load()
+		prog.LowerBound = m.Lower.Load()
+		prog.UpperBound = m.Upper.Load()
+		prog.Approx = m.Approx.Load()
+		prog.WorkerSets = m.WorkerSnapshot()
+	}
+	spans := tr.LiveSpans()
+	prog.Phase = currentPhase(spans)
+	if withSpans {
+		prog.Spans = spans
+	}
+	return prog
+}
+
+// currentPhase returns the slash-joined names of the open-span path: the
+// last open root, then recursively its last open child — which is the
+// phase the coordinator goroutine is executing right now.
+func currentPhase(spans []*obs.SpanSnapshot) string {
+	var path []string
+	for {
+		var open *obs.SpanSnapshot
+		for i := len(spans) - 1; i >= 0; i-- {
+			if spans[i].Open {
+				open = spans[i]
+				break
+			}
+		}
+		if open == nil {
+			break
+		}
+		path = append(path, open.Name)
+		spans = open.Children
+	}
+	return strings.Join(path, "/")
+}
+
+func (p *Plane) handleProgress(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	withSpans := q.Get("spans") == "1"
+	if q.Get("sse") == "1" || strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		p.streamProgress(w, r, withSpans)
+		return
+	}
+	writeJSON(w, http.StatusOK, p.Snapshot(withSpans))
+}
+
+// streamProgress serves the SSE stream: one `data:` event per interval
+// (default 500ms, override with ?interval_ms=) until the client goes
+// away. Each event is the same JSON document /progress serves.
+func (p *Plane) streamProgress(w http.ResponseWriter, r *http.Request, withSpans bool) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	interval := 500 * time.Millisecond
+	if ms, err := strconv.Atoi(r.URL.Query().Get("interval_ms")); err == nil && ms > 0 {
+		interval = time.Duration(ms) * time.Millisecond
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		buf, err := json.Marshal(p.Snapshot(withSpans))
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", buf); err != nil {
+			return
+		}
+		flusher.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

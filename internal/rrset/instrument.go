@@ -1,6 +1,8 @@
 package rrset
 
 import (
+	"time"
+
 	"subsim/internal/graph"
 	"subsim/internal/obs"
 	"subsim/internal/rng"
@@ -22,6 +24,7 @@ type Instrumented struct {
 	gen        Generator
 	m          *obs.MetricSet
 	workerSets *obs.Counter
+	workerBusy *obs.Counter
 }
 
 // skipInstrumentable is implemented by generators that can observe their
@@ -45,11 +48,33 @@ func Instrument(gen Generator, m *obs.MetricSet, workerSets *obs.Counter) Genera
 	return &Instrumented{gen: gen, m: m, workerSets: workerSets}
 }
 
+// InstrumentWorker is Instrument wired for worker w of a batcher: the
+// per-worker sets counter plus the per-worker busy-time counter that
+// feeds the live telemetry plane's worker-utilization gauge. Timing each
+// set costs two clock reads, which only the batcher's worker loops —
+// where a set is a full reverse BFS — opt into; the plain Instrument
+// path stays clock-free.
+func InstrumentWorker(gen Generator, m *obs.MetricSet, w int) Generator {
+	if m == nil {
+		return gen
+	}
+	ig := Instrument(gen, m, m.WorkerSets(w)).(*Instrumented)
+	ig.workerBusy = m.WorkerBusyNS(w)
+	return ig
+}
+
 // Generate delegates to the wrapped generator and records the per-set
 // deltas of its counters.
 func (ig *Instrumented) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
 	before := ig.gen.Stats()
+	var t0 time.Time
+	if ig.workerBusy != nil {
+		t0 = time.Now() //lint:allow timing (per-worker busy-time metric, observability only)
+	}
 	set := ig.gen.Generate(r, root, sentinel)
+	if ig.workerBusy != nil {
+		ig.workerBusy.Add(time.Since(t0).Nanoseconds()) //lint:allow timing (per-worker busy-time metric, observability only)
+	}
 	ig.observe(before, int64(len(set)))
 	return set
 }
@@ -60,7 +85,14 @@ func (ig *Instrumented) Generate(r *rng.Source, root int32, sentinel []bool) RRS
 //subsim:hotpath
 func (ig *Instrumented) GenerateInto(a *Arena, r *rng.Source, root int32, sentinel []bool) []int32 {
 	before := ig.gen.Stats()
+	var t0 time.Time
+	if ig.workerBusy != nil {
+		t0 = time.Now() //lint:allow timing (per-worker busy-time metric, observability only)
+	}
 	set := ig.gen.GenerateInto(a, r, root, sentinel)
+	if ig.workerBusy != nil {
+		ig.workerBusy.Add(time.Since(t0).Nanoseconds()) //lint:allow timing (per-worker busy-time metric, observability only)
+	}
 	ig.observe(before, int64(len(set)))
 	return set
 }
@@ -91,9 +123,11 @@ func (ig *Instrumented) Stats() Stats { return ig.gen.Stats() }
 func (ig *Instrumented) ResetStats() { ig.gen.ResetStats() }
 
 // Clone wraps a clone of the inner generator against the same metric
-// set and worker counter.
+// set and worker counters.
 func (ig *Instrumented) Clone() Generator {
-	return Instrument(ig.gen.Clone(), ig.m, ig.workerSets)
+	c := Instrument(ig.gen.Clone(), ig.m, ig.workerSets).(*Instrumented)
+	c.workerBusy = ig.workerBusy
+	return c
 }
 
 // Unwrap returns the wrapped generator, for callers that need the

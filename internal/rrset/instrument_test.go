@@ -1,6 +1,7 @@
 package rrset
 
 import (
+	"io"
 	"testing"
 
 	"subsim/internal/graph"
@@ -137,9 +138,15 @@ func TestStatsSub(t *testing.T) {
 // nil-metric-set wrapper (which must unwrap to the bare generator), and
 // with metrics enabled. The nil path must be within noise of bare — the
 // <5%-overhead claim of the observability layer's disabled mode — and
-// the enabled path shows the true cost of staying observable.
+// the enabled path shows the true cost of staying observable. The
+// worker-timed variant adds the busy-ns clock reads of InstrumentWorker
+// (what imrun -serve actually installs), and live-scraped measures the
+// worst case for the telemetry plane: a goroutine rendering the full
+// Prometheus exposition in a tight loop while generation runs, i.e. the
+// writer side under continuous lock-free reader pressure.
 //
 // Run with: go test ./internal/rrset -bench InstrumentedGenerate -benchmem
+// (recorded into BENCH_rrset.json by `make benchobs`).
 func BenchmarkInstrumentedGenerate(b *testing.B) {
 	g := testGraph(b)
 	run := func(b *testing.B, gen Generator) {
@@ -159,5 +166,29 @@ func BenchmarkInstrumentedGenerate(b *testing.B) {
 	b.Run("metrics-on", func(b *testing.B) {
 		m := obs.NewMetricSet()
 		run(b, Instrument(NewSubsim(g), m, m.WorkerSets(0)))
+	})
+	b.Run("worker-timed", func(b *testing.B) {
+		m := obs.NewMetricSet()
+		run(b, InstrumentWorker(NewSubsim(g), m, 0))
+	})
+	b.Run("live-scraped", func(b *testing.B) {
+		m := obs.NewMetricSet()
+		stop := make(chan struct{})
+		scraped := make(chan struct{})
+		go func() {
+			defer close(scraped)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = m.WritePrometheus(io.Discard)
+				}
+			}
+		}()
+		run(b, InstrumentWorker(NewSubsim(g), m, 0))
+		b.StopTimer()
+		close(stop)
+		<-scraped
 	})
 }
