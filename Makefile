@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vet-strict fuzz-smoke test test-alloc race serve-smoke cover bench bench-json bench-scale benchcmp benchcheck benchobs examples experiments quick clean
+.PHONY: all build vet lint vet-strict fuzz-smoke test test-alloc race serve-smoke scale-smoke cover bench bench-json bench-scale bench-matrix benchcmp benchcheck benchobs examples experiments quick clean
 
-all: build vet lint test test-alloc race serve-smoke
+all: build vet lint test test-alloc race serve-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,19 @@ serve-smoke:
 	$(GO) build -o bin/obsdiff ./cmd/obsdiff
 	$(GO) run ./cmd/servesmoke
 
+# Scaling-observatory smoke gate: run a tiny 2-worker scaling matrix
+# end to end (fresh tracer + timeline per cell, per-phase medians,
+# Amdahl fits, worker-independence assertion) and obsdiff-self-compare
+# the run report it emits, proving the matrix artifacts stay consumable
+# by the observability toolchain. Seconds, not minutes.
+scale-smoke:
+	$(GO) build -o bin/scalematrix ./cmd/scalematrix
+	$(GO) build -o bin/obsdiff ./cmd/obsdiff
+	bin/scalematrix -graphs pa:3000x4 -gens subsim -workers 1,2 -trials 1 \
+		-sets 3000 -rounds 2 -k 10 -report scalematrix_smoke_report.json
+	bin/obsdiff scalematrix_smoke_report.json scalematrix_smoke_report.json
+	rm -f scalematrix_smoke_report.json
+
 cover:
 	$(GO) test -cover ./internal/...
 
@@ -103,6 +116,23 @@ bench-scale:
 	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label parallel-cover bench_scale.txt
 	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -check arena-csr,parallel-cover -filter '_W1$$'
 
+# Workers×graph scaling matrix: sweep the full pipeline (generate,
+# splice, delta CSR build, select) over worker counts, compute per-phase
+# speedup/efficiency curves and least-squares Amdahl serial-fraction
+# fits, and record them into BENCH_rrset.json under the "scale-matrix"
+# label. On a host where GOMAXPROCS < max workers the run (and the
+# recorded JSON) is tagged with a caveat — those rows measure
+# partitioning overhead, not speedup. Override MATRIX_* to change shape.
+MATRIX_GRAPHS ?= pa:20000x8
+MATRIX_GENS ?= subsim,vanilla
+MATRIX_WORKERS ?= 1,2,4,8
+bench-matrix:
+	$(GO) build -o bin/scalematrix ./cmd/scalematrix
+	bin/scalematrix -graphs $(MATRIX_GRAPHS) -gens $(MATRIX_GENS) \
+		-workers $(MATRIX_WORKERS) -trials 3 \
+		-json scalematrix_result.json \
+		-bench-file BENCH_rrset.json -bench-label scale-matrix
+
 # Observability overhead: bare vs nil-wrapped vs metrics-on vs
 # worker-timed vs live-scraped RR generation, recorded into
 # BENCH_rrset.json under the "obs-live" label (committed baseline:
@@ -127,5 +157,6 @@ quick:
 	$(GO) run ./cmd/imbench -quick
 
 clean:
-	rm -f test_output.txt bench_output.txt bench_rrset.txt bench_scale.txt imbench graph.bin
+	rm -f test_output.txt bench_output.txt bench_rrset.txt bench_scale.txt bench_obs.txt imbench graph.bin
+	rm -f scalematrix_result.json scalematrix_smoke_report.json
 	rm -rf bin

@@ -59,9 +59,14 @@ type Metrics struct {
 
 // Run is one recorded benchmark pass.
 type Run struct {
-	Label      string             `json:"label"`
-	Recorded   string             `json:"recorded"`
-	GoVersion  string             `json:"go_version"`
+	Label     string `json:"label"`
+	Recorded  string `json:"recorded"`
+	GoVersion string `json:"go_version"`
+	// Caveat flags a run whose numbers need a health warning — e.g. W>1
+	// variants recorded on a single-core host, which measure partitioning
+	// overhead rather than parallel speedup. A struct field (not a free
+	// comment in the JSON) so save() round-trips it instead of dropping it.
+	Caveat     string             `json:"caveat,omitempty"`
 	Benchmarks map[string]Metrics `json:"benchmarks"`
 }
 
@@ -75,6 +80,7 @@ func main() {
 	var (
 		path    = flag.String("file", "BENCH_rrset.json", "JSON baseline file to read/write")
 		label   = flag.String("label", "", "record parsed benchmarks under this label")
+		caveat  = flag.String("caveat", "", "health warning recorded alongside -label (e.g. single-core host)")
 		compare = flag.String("compare", "", "compare two recorded labels, \"old,new\"")
 		check   = flag.String("check", "", "like -compare, but fail when \"new\" regresses vs \"old\"")
 		tol     = flag.Float64("tolerance", 15, "allowed ns/op regression percentage for -check")
@@ -82,13 +88,13 @@ func main() {
 		list    = flag.Bool("list", false, "list recorded runs")
 	)
 	flag.Parse()
-	if err := run(*path, *label, *compare, *check, *tol, *filter, *list, flag.Args()); err != nil {
+	if err := run(*path, *label, *caveat, *compare, *check, *tol, *filter, *list, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, label, compare, check string, tol float64, filter string, list bool, args []string) error {
+func run(path, label, caveat, compare, check string, tol float64, filter string, list bool, args []string) error {
 	f, err := load(path)
 	if err != nil {
 		return err
@@ -149,6 +155,7 @@ func run(path, label, compare, check string, tol float64, filter string, list bo
 			Label:      label,
 			Recorded:   time.Now().UTC().Format(time.RFC3339),
 			GoVersion:  runtime.Version(),
+			Caveat:     caveat,
 			Benchmarks: bms,
 		})
 		if err := save(path, f); err != nil {

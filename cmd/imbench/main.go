@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -70,6 +71,16 @@ func main() {
 	cfg.Eps = *eps
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	// Oversubscribed workers measure goroutine-partitioning overhead, not
+	// parallel speedup — the trap that poisoned the early W>1 rows of
+	// BENCH_rrset.json (see their "caveat" fields). Shout about it so the
+	// numbers can't masquerade as speedups.
+	if p := runtime.GOMAXPROCS(0); *workers > p {
+		fmt.Fprintf(os.Stderr,
+			"imbench: WARNING: -workers=%d exceeds GOMAXPROCS=%d — timings will measure\n"+
+				"imbench: WARNING: partitioning overhead on shared cores, NOT parallel speedup\n",
+			*workers, p)
+	}
 	if *ks != "" {
 		var sweep []int
 		for _, f := range strings.Split(*ks, ",") {
@@ -103,7 +114,13 @@ func main() {
 	var tr *obs.Tracer
 	if *tracePath != "" || *metrics || *serveAddr != "" {
 		tr = obs.NewTracer()
+		tr.EnableTimeline(0)
 		tr.SetMeta("tool", "imbench")
+		if p := runtime.GOMAXPROCS(0); *workers > p {
+			tr.SetMeta("caveat", fmt.Sprintf(
+				"workers=%d oversubscribes GOMAXPROCS=%d: timings measure partitioning overhead, not speedup",
+				*workers, p))
+		}
 		tr.SetMeta("experiments", strings.Join(ids, ","))
 		tr.SetMeta("scale", *scale)
 		tr.SetMeta("eps", *eps)

@@ -24,7 +24,8 @@
 //	-json    emit the full Result plus run report as one JSON object
 //	-log     emit structured run events on stderr: "text" or "json"
 //	-serve   serve the live telemetry plane on this address (e.g. :6060):
-//	         /metrics, /healthz, /readyz, /progress, /report, /debug/*
+//	         /metrics, /healthz, /readyz, /progress, /report, /timeline,
+//	         /trace (Perfetto-loadable trace-event export), /debug/*
 //	-pprof   deprecated alias for -serve
 package main
 
@@ -114,6 +115,10 @@ func main() {
 	var tr *subsim.Tracer
 	if *tracePath != "" || *metrics || *jsonOut || *serveAddr != "" {
 		tr = subsim.NewTracer()
+		// The execution timeline powers /trace + /timeline on the plane and
+		// the timeline summary in the run report; recording costs a few
+		// atomics per RR set, so it simply rides along whenever tracing is on.
+		tr.EnableTimeline(0)
 		tr.SetMeta("algorithm", alg.String())
 		tr.SetMeta("graph", *graphPath)
 		tr.SetMeta("k", *k)
@@ -134,7 +139,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer func() { _ = plane.Close() }()
-		fmt.Fprintf(os.Stderr, "imrun: serving telemetry on %s (/metrics /healthz /readyz /progress /report /debug)\n", addr)
+		fmt.Fprintf(os.Stderr, "imrun: serving telemetry on %s (/metrics /healthz /readyz /progress /report /timeline /trace /debug)\n", addr)
 	}
 
 	g, err := subsim.LoadGraph(*graphPath)

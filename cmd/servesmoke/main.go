@@ -7,8 +7,10 @@
 //     iterations to keep the run alive while we scrape,
 //  3. assert every plane endpoint answers 200 (and /readyz flips from
 //     graph readiness), that subsim_rr_sets_total is present, parseable
-//     and strictly increases across scrapes of the live run, and that
-//     /progress reports a non-empty phase mid-run,
+//     and strictly increases across scrapes of the live run, that
+//     /progress reports a non-empty phase mid-run, and that /trace
+//     serves a well-formed trace-event document with complete events
+//     on a named worker track,
 //  4. capture /report and check `obsdiff report report` exits 0
 //     (self-compare is clean) while the committed regressed fixture
 //     pair exits 1 (the gate actually fails on regressions),
@@ -119,7 +121,7 @@ func smoke(t tools, dir, fixtures string, deadline time.Time) error {
 	if err := waitReady(base, deadline); err != nil {
 		return err
 	}
-	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/progress", "/progress?spans=1", "/report", "/debug/vars"} {
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/progress", "/progress?spans=1", "/report", "/timeline", "/debug/vars"} {
 		if _, err := get(base+path, http.StatusOK); err != nil {
 			return err
 		}
@@ -129,6 +131,9 @@ func smoke(t tools, dir, fixtures string, deadline time.Time) error {
 		return err
 	}
 	if err := checkProgressLive(base, deadline); err != nil {
+		return err
+	}
+	if err := checkTrace(base); err != nil {
 		return err
 	}
 
@@ -289,6 +294,52 @@ func checkProgressLive(base string, deadline time.Time) error {
 		time.Sleep(10 * time.Millisecond)
 	}
 	return fmt.Errorf("/progress never showed a live phase mid-run")
+}
+
+// checkTrace fetches the Perfetto trace export mid-run and asserts it
+// is a well-formed trace-event document with real content: complete
+// ("X") events present and at least one named worker track. Runs after
+// checkSetsMonotone, so RR generation has demonstrably happened and the
+// timeline cannot legitimately be empty.
+func checkTrace(base string) error {
+	body, err := get(base+"/trace", http.StatusOK)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("/trace is not JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		return fmt.Errorf("/trace displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	complete, workerTrack := 0, false
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+		case "M":
+			if ev.Name == "thread_name" && strings.HasPrefix(ev.Args.Name, "worker ") {
+				workerTrack = true
+			}
+		}
+	}
+	if complete == 0 {
+		return fmt.Errorf("/trace has no complete events mid-run")
+	}
+	if !workerTrack {
+		return fmt.Errorf("/trace names no worker track")
+	}
+	return nil
 }
 
 // expectExit runs obsdiff on two reports and asserts its exit code.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"subsim/internal/obs"
+	"subsim/internal/obs/timeline"
 	"subsim/internal/rrset"
 )
 
@@ -79,6 +80,17 @@ type Index struct {
 	buildSerHist *obs.Histogram
 	buildParHist *obs.Histogram
 	entriesCtr   *obs.Counter
+
+	// tl, when non-nil, receives per-worker interval records for the
+	// index-build, initial-gains and greedy-select phases. A nil tl (the
+	// default) makes every record site a no-op through the nil-safe ring.
+	tl *timeline.Timeline
+
+	// Cached pprof/runtime-trace sections for the hot phases, refreshed
+	// when the worker count changes; nil on an uninstrumented index.
+	secBuild  *obs.PhaseSection
+	secGains  *obs.PhaseSection
+	secSelect *obs.PhaseSection
 }
 
 // NewIndex returns an empty index over n nodes. outDeg, when non-nil,
@@ -107,6 +119,7 @@ func (x *Index) SetWorkers(w int) {
 		w = 1
 	}
 	x.workers = w
+	x.refreshSections()
 }
 
 // Workers returns the configured internal parallelism bound.
@@ -122,15 +135,45 @@ func (x *Index) SetBuildMetrics(total, serial, parallel *obs.Histogram, entries 
 	x.buildSerHist = serial
 	x.buildParHist = parallel
 	x.entriesCtr = entries
+	x.refreshSections()
 }
 
+// SetTimeline attaches a per-worker execution timeline: the CSR rebuild,
+// the initial-gains pass and the greedy-select loop then leave interval
+// records on the worker rings (see internal/obs/timeline). A nil tl — or
+// never calling this — keeps every record site a zero-cost no-op. Must
+// not be called while a query is in flight (the Index is not safe for
+// concurrent mutation anyway).
+func (x *Index) SetTimeline(tl *timeline.Timeline) {
+	x.tl = tl
+	x.refreshSections()
+}
+
+// refreshSections rebinds the cached pprof/trace sections to the current
+// worker count. Sections are only materialised once any instrumentation
+// is attached, so a plain NewIndex stays label-free.
+func (x *Index) refreshSections() {
+	if x.buildHist == nil && x.tl == nil {
+		return
+	}
+	x.secBuild = obs.Section("index-build", x.workers)
+	x.secGains = obs.Section("select-gains", x.workers)
+	x.secSelect = obs.Section("select", 1)
+}
+
+// ring returns worker w's timeline ring (nil — the disabled ring — when
+// no timeline is attached).
+func (x *Index) ring(w int) *timeline.Ring { return x.tl.Worker(w) }
+
 // NewIndexObs returns NewIndex wired to m's index-build instruments
-// (build-duration histograms and postings counter); a nil m yields a
-// plain, uninstrumented index.
+// (build-duration histograms and postings counter) and, when m carries
+// one, its execution timeline; a nil m yields a plain, uninstrumented
+// index.
 func NewIndexObs(n int, outDeg []int32, m *obs.MetricSet) *Index {
 	idx := NewIndex(n, outDeg)
 	if m != nil {
 		idx.SetBuildMetrics(&m.IndexBuild, &m.IndexBuildSerial, &m.IndexBuildParallel, &m.IndexEntries)
+		idx.SetTimeline(m.Timeline)
 	}
 	return idx
 }
@@ -189,6 +232,7 @@ func (x *Index) ensureIndexed() {
 	if x.indexed == total {
 		return
 	}
+	sec := x.secBuild.Enter()
 	start := time.Now() //lint:allow timing (feeds the index-build duration histograms only)
 
 	data := x.store.Data()
@@ -201,9 +245,14 @@ func (x *Index) ensureIndexed() {
 	newHeads := x.growHeadsScratch()
 	parallel := x.workers > 1 && int64(len(data))-deltaFrom >= int64(parallelBuildMinDelta)
 	if parallel {
+		// Per-worker interval records come out of the runTimed wrapper
+		// around each parallel sub-pass (parallel.go).
 		x.buildParallel(newHeads, data, ends, deltaFrom, total)
 	} else {
+		r := x.ring(0)
+		t0 := r.Now()
 		x.buildSerial(newHeads, data, ends, deltaFrom, total)
+		r.Record(timeline.PhaseIndexBuild, t0, r.Now())
 	}
 
 	x.entriesCtr.Add(int64(len(data)) - deltaFrom) // delta postings placed
@@ -235,6 +284,7 @@ func (x *Index) ensureIndexed() {
 	} else {
 		x.buildSerHist.Observe(ns)
 	}
+	sec.Exit()
 }
 
 // buildSerial is the single-threaded delta rebuild: counting pass over
@@ -561,9 +611,14 @@ func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 	gains := x.selGains[:x.n] // latest computed gain per node (a valid upper bound)
 	selected := x.selSelected[:x.n]
 
+	secG := x.secGains.Enter()
 	if x.workers > 1 && x.n >= parallelGainsMinNodes {
+		// Per-worker interval records come out of the runTimed wrapper
+		// around each gains sub-pass (parallel.go).
 		h.entries = x.parallelInitialGains(h.entries, gains, opt.Exclude)
 	} else {
+		r := x.ring(0)
+		t0 := r.Now()
 		for v := 0; v < x.n; v++ {
 			if opt.Exclude != nil && opt.Exclude[v] {
 				gains[v] = 0 // keeps the reused gain vector topSum-safe
@@ -573,8 +628,10 @@ func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 			gains[v] = g
 			h.entries = append(h.entries, celfEntry{gain: g, node: int32(v), iter: 0})
 		}
+		r.Record(timeline.PhaseGains, t0, r.Now())
 	}
 	h.init()
+	secG.Exit()
 
 	res := GreedyResult{
 		Seeds:         make([]int32, 0, k),
@@ -586,6 +643,9 @@ func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 	// coverages.
 	res.tightenUpper(opt.Base + x.topSum(gains, selected, topL))
 
+	secS := x.secSelect.Enter()
+	rSel := x.ring(0)
+	tSel := rSel.Now()
 	var cum int64
 	nextBoundAt := 1
 	for round := int32(1); int(round) <= k && h.Len() > 0; round++ {
@@ -624,6 +684,8 @@ func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 			nextBoundAt *= 2
 		}
 	}
+	rSel.Record(timeline.PhaseSelect, tSel, rSel.Now())
+	secS.Exit()
 	// Recycle the scratch: clear the selected marks (only the picked
 	// seeds are set) and keep the heap's backing array, which push may
 	// have regrown.

@@ -25,7 +25,11 @@
 // written where.
 package coverage
 
-import "sync"
+import (
+	"sync"
+
+	"subsim/internal/obs/timeline"
+)
 
 // parallelBuildMinDelta is the smallest delta (in node ids) worth
 // fanning out a rebuild for; below it the goroutine handoff dominates.
@@ -51,6 +55,27 @@ func runParallel(workers int, fn func(w int)) {
 	}
 	fn(0)
 	wg.Wait()
+}
+
+// runTimed is runParallel with per-worker timeline records: when a
+// timeline is attached, worker w's execution of fn lands as one interval
+// on ring w. The wrapper closure is allocated only on the instrumented
+// path — with no timeline it delegates straight to runParallel, keeping
+// the uninstrumented pipeline allocation-identical to before. The
+// single-writer discipline holds because runParallel joins before
+// returning: the goroutine acting as worker w is ring w's only writer
+// for the duration of the pass.
+func (x *Index) runTimed(phase timeline.Phase, workers int, fn func(w int)) {
+	if x.tl == nil {
+		runParallel(workers, fn)
+		return
+	}
+	runParallel(workers, func(w int) {
+		r := x.tl.Worker(w)
+		t0 := r.Now()
+		fn(w)
+		r.Record(phase, t0, r.Now())
+	})
 }
 
 // growCntScratch sizes the per-worker delta-count arrays (the sharded
@@ -90,7 +115,7 @@ func (x *Index) buildParallel(newHeads []int64, data []int32, ends []int64, delt
 
 	// Phase 1 — counting, sharded by delta position: worker w bumps its
 	// own count array over the w-th contiguous chunk of the delta.
-	runParallel(workers, func(w int) {
+	x.runTimed(timeline.PhaseIndexBuild, workers, func(w int) {
 		lo := len(delta) * w / workers
 		hi := len(delta) * (w + 1) / workers
 		countShard(x.cntW[w], delta[lo:hi])
@@ -100,7 +125,7 @@ func (x *Index) buildParallel(newHeads []int64, data []int32, ends []int64, delt
 	// ranges: worker w folds old lengths + shard counts into per-node
 	// totals (parked in cursors) and a per-range partial sum, zeroing
 	// the shard counts as it reads them.
-	runParallel(workers, func(w int) {
+	x.runTimed(timeline.PhaseIndexBuild, workers, func(w int) {
 		lo := x.n * w / workers
 		hi := x.n * (w + 1) / workers
 		x.partial[w] = x.mergeCountsRange(lo, hi)
@@ -113,7 +138,7 @@ func (x *Index) buildParallel(newHeads []int64, data []int32, ends []int64, delt
 
 	// Phase 2b — fill newHeads per range from the per-node totals and
 	// park each node's scatter cursor (head + old length) in cursors.
-	runParallel(workers, func(w int) {
+	x.runTimed(timeline.PhaseIndexBuild, workers, func(w int) {
 		lo := x.n * w / workers
 		hi := x.n * (w + 1) / workers
 		fillHeadsRange(newHeads, x.heads, x.cursors, lo, hi, x.partial[w])
@@ -129,7 +154,7 @@ func (x *Index) buildParallel(newHeads []int64, data []int32, ends []int64, delt
 	for w := 1; w < workers; w++ {
 		x.rangeEnd[w] = searchHeads(newHeads[:x.n+1], totalPost*int64(w)/int64(workers))
 	}
-	runParallel(workers, func(w int) {
+	x.runTimed(timeline.PhaseIndexBuild, workers, func(w int) {
 		x.placeRange(newPost, newHeads, x.rangeEnd[w], x.rangeEnd[w+1], data, ends, deltaFrom, total)
 	})
 	x.commitBuild(newHeads, newPost)
@@ -241,7 +266,7 @@ func (x *Index) placeRange(newPost []int32, newHeads []int64, lo, hi int, data [
 func (x *Index) parallelInitialGains(entries []celfEntry, gains []int64, exclude []bool) []celfEntry {
 	workers := x.workers
 	x.growPartialScratch(workers)
-	runParallel(workers, func(w int) {
+	x.runTimed(timeline.PhaseGains, workers, func(w int) {
 		lo := x.n * w / workers
 		hi := x.n * (w + 1) / workers
 		x.partial[w] = gainsRange(gains, x.heads, exclude, lo, hi)
@@ -251,7 +276,7 @@ func (x *Index) parallelInitialGains(entries []celfEntry, gains []int64, exclude
 		totalEntries, x.partial[w] = totalEntries+x.partial[w], totalEntries // partial becomes the slot base
 	}
 	entries = entries[:totalEntries]
-	runParallel(workers, func(w int) {
+	x.runTimed(timeline.PhaseGains, workers, func(w int) {
 		lo := x.n * w / workers
 		hi := x.n * (w + 1) / workers
 		fillEntriesRange(entries, gains, exclude, lo, hi, int(x.partial[w]))

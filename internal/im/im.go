@@ -19,6 +19,7 @@ import (
 
 	"subsim/internal/coverage"
 	"subsim/internal/obs"
+	"subsim/internal/obs/timeline"
 	"subsim/internal/rng"
 	"subsim/internal/rrset"
 )
@@ -137,6 +138,20 @@ type Batcher struct {
 	// arena-to-store splice performed by FillIndex (ns).
 	spliceHist *obs.Histogram
 
+	// rings, when non-nil, holds one timeline ring per worker: the splice
+	// passes record their per-worker intervals there (generation-phase
+	// records come from the rrset.InstrumentWorker wrappers). rings[w] is
+	// only ever written by the goroutine currently acting as worker w —
+	// generation and splice never overlap (FillIndex runs them strictly in
+	// sequence), preserving the ring's single-writer discipline.
+	rings []*timeline.Ring
+
+	// secGenerate and secSplice tag the two FillIndex sections with pprof
+	// labels and runtime/trace regions; nil (the disabled instrument) when
+	// the batcher is uninstrumented.
+	secGenerate *obs.PhaseSection
+	secSplice   *obs.PhaseSection
+
 	// Splice scratch, one slot per worker: kept set/node counts from the
 	// counting pass and their prefix-summed destination offsets. Kept on
 	// the batcher so steady-state FillIndex allocates nothing.
@@ -201,10 +216,27 @@ func NewInstrumentedBatcher(gen rrset.Generator, seed uint64, workers int, m *ob
 		return b
 	}
 	b.spliceHist = &m.Splice
+	b.secGenerate = obs.Section("generate", len(b.gens))
+	b.secSplice = obs.Section("splice", len(b.gens))
+	if m.Timeline != nil {
+		b.rings = make([]*timeline.Ring, len(b.gens))
+		for w := range b.rings {
+			b.rings[w] = m.TimelineRing(w)
+		}
+	}
 	for w := range b.gens {
 		b.gens[w] = rrset.InstrumentWorker(b.gens[w], m, w)
 	}
 	return b
+}
+
+// ring returns worker w's timeline ring, or nil (the no-op ring) on an
+// uninstrumented batcher.
+func (b *Batcher) ring(w int) *timeline.Ring {
+	if b.rings == nil {
+		return nil
+	}
+	return b.rings[w]
 }
 
 // setSeed derives the RNG seed of the set with global index idx from the
@@ -359,7 +391,10 @@ func (b *Batcher) FillIndex(idx *coverage.Index, count int, sentinel []bool) (hi
 	if count <= 0 {
 		return 0
 	}
+	hGen := b.secGenerate.Enter()
 	used := b.fillArenas(count, sentinel)
+	hGen.Exit()
+	hSpl := b.secSplice.Enter()
 	var start time.Time
 	if b.spliceHist != nil {
 		start = time.Now() //lint:allow timing (splice duration metric)
@@ -368,6 +403,7 @@ func (b *Batcher) FillIndex(idx *coverage.Index, count int, sentinel []bool) (hi
 	if b.spliceHist != nil {
 		b.spliceHist.Observe(time.Since(start).Nanoseconds()) //lint:allow timing (splice duration metric)
 	}
+	hSpl.Exit()
 	return hits
 }
 
@@ -378,9 +414,12 @@ func (b *Batcher) FillIndex(idx *coverage.Index, count int, sentinel []bool) (hi
 // prefix sum in between assigning destination offsets.
 func (b *Batcher) splice(idx *coverage.Index, used int, sentinel []bool) int64 {
 	if used == 1 {
+		r := b.ring(0)
+		t0 := r.Now()
 		sets, nodes, hits := countKept(b.arenas[0], sentinel)
 		data, ends, nodeBase := idx.Grow(sets, nodes)
 		spliceArena(b.arenas[0], sentinel, data, ends, nodeBase)
+		r.Record(timeline.PhaseSplice, t0, r.Now())
 		return hits
 	}
 	var wg sync.WaitGroup
@@ -388,10 +427,16 @@ func (b *Batcher) splice(idx *coverage.Index, used int, sentinel []bool) int64 {
 	for w := 1; w < used; w++ {
 		go func(w int) {
 			defer wg.Done()
+			r := b.ring(w)
+			t0 := r.Now()
 			b.keptSets[w], b.keptNodes[w], b.hitCnt[w] = countKept(b.arenas[w], sentinel)
+			r.Record(timeline.PhaseSplice, t0, r.Now())
 		}(w)
 	}
+	r0 := b.ring(0)
+	t0 := r0.Now()
 	b.keptSets[0], b.keptNodes[0], b.hitCnt[0] = countKept(b.arenas[0], sentinel)
+	r0.Record(timeline.PhaseSplice, t0, r0.Now())
 	wg.Wait()
 
 	totalSets, totalNodes := 0, int64(0)
@@ -409,15 +454,20 @@ func (b *Batcher) splice(idx *coverage.Index, used int, sentinel []bool) int64 {
 	for w := 1; w < used; w++ {
 		go func(w int) {
 			defer wg.Done()
+			r := b.ring(w)
+			t0 := r.Now()
 			lo := b.nodeOff[w]
 			spliceArena(b.arenas[w], sentinel,
 				data[lo:lo+int64(b.keptNodes[w])],
 				ends[b.setOff[w]:b.setOff[w]+b.keptSets[w]],
 				nodeBase+lo)
+			r.Record(timeline.PhaseSplice, t0, r.Now())
 		}(w)
 	}
+	t0 = r0.Now()
 	spliceArena(b.arenas[0], sentinel,
 		data[:b.keptNodes[0]], ends[:b.keptSets[0]], nodeBase)
+	r0.Record(timeline.PhaseSplice, t0, r0.Now())
 	wg.Wait()
 	return hits
 }

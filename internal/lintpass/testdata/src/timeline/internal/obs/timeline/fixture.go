@@ -1,0 +1,98 @@
+// Package timeline is the golden fixture for the execution-timeline
+// lint extensions: the directory suffix internal/obs/timeline makes
+// Ring and Timeline tracked under the nil-tracer contract, and the
+// hotpath-alloc analyzer requires every Ring.Record/Ring.Now call in a
+// //subsim:hotpath function to sit under a nil guard on the receiver.
+package timeline
+
+// Ring is the fixture stand-in for the per-worker interval ring.
+type Ring struct {
+	cursor uint64
+}
+
+// Timeline is the fixture stand-in for the ring owner.
+type Timeline struct {
+	rings []*Ring
+}
+
+// Record is nil-safe like the real ring: guarded before the field write.
+func (r *Ring) Record(startNS, endNS int64) {
+	if r == nil {
+		return
+	}
+	r.cursor++
+}
+
+// Now is nil-safe like the real ring.
+func (r *Ring) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(r.cursor)
+}
+
+// Written reads the cursor with no guard: the nil-tracer contract
+// violation on the new Ring type.
+func Written(r *Ring) uint64 {
+	return r.cursor // want `access to field cursor`
+}
+
+// Worker indexes the ring vector before any nil check.
+func (tl *Timeline) Worker(w int) *Ring {
+	return tl.rings[w] // want `access to field rings`
+}
+
+// WorkerSafe is the guarded version: no finding.
+func WorkerSafe(tl *Timeline, w int) *Ring {
+	if tl == nil || w >= len(tl.rings) {
+		return nil
+	}
+	return tl.rings[w]
+}
+
+// gen is the instrumented-generator stand-in for the hot-path checks.
+type gen struct {
+	ring *Ring
+	busy int64
+}
+
+// GenerateInto mirrors the real instrumented hot path: every Record/Now
+// call sits under the `if g.ring != nil` guard, so the disabled path
+// skips recording entirely. No findings.
+//
+//subsim:hotpath
+func (g *gen) GenerateInto(n int) {
+	if g.ring != nil {
+		t0 := g.ring.Now()
+		g.busy += int64(n)
+		g.ring.Record(t0, g.ring.Now())
+	}
+}
+
+// hoisted re-binds the guarded ring to a local inside the guard; the
+// local inherits the guard.
+//
+//subsim:hotpath
+func (g *gen) hoisted() {
+	if g.ring != nil {
+		r := g.ring
+		r.Record(r.Now(), r.Now())
+	}
+}
+
+// unguarded records without the guard: flagged even though the calls
+// are nil-safe — a hot loop must not pay a method call per set on the
+// disabled path.
+//
+//subsim:hotpath
+func (g *gen) unguarded() {
+	g.ring.Record(0, 1) // want `timeline g.ring.Record in hot-path function unguarded`
+	g.busy += g.ring.Now() // want `timeline g.ring.Now in hot-path function unguarded`
+}
+
+// cold performs the same unguarded calls without the hotpath marker:
+// the discipline is scoped to annotated functions.
+func (g *gen) cold() {
+	g.ring.Record(0, 1)
+	g.busy += g.ring.Now()
+}

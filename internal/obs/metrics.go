@@ -5,6 +5,8 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"subsim/internal/obs/timeline"
 )
 
 // Counter is a monotonically increasing atomic counter. All methods are
@@ -238,6 +240,13 @@ type MetricSet struct {
 	// index builds; with Nodes it yields the indexing amplification.
 	IndexEntries Counter
 
+	// Timeline, when non-nil, records per-worker execution intervals
+	// alongside the cumulative counters (see internal/obs/timeline).
+	// Set before workers start — typically by Tracer.EnableTimeline —
+	// and never replaced mid-run; instrumented code reads it through the
+	// nil-safe TimelineRing accessor.
+	Timeline *timeline.Timeline
+
 	// Lower, Upper and Approx are the live certified bounds (Equations
 	// 1/2) as of the most recent bound-check, published by the algorithms
 	// through SetBounds so the /progress endpoint can watch them tighten
@@ -299,6 +308,18 @@ func (m *MetricSet) WorkerBusyNS(w int) *Counter {
 		m.workerBusy = append(m.workerBusy, &Counter{})
 	}
 	return m.workerBusy[w]
+}
+
+// TimelineRing returns worker w's timeline ring, or nil — the disabled
+// ring, whose Record and Now are no-ops — when the set is nil or no
+// timeline is attached. This is the one accessor instrumented code
+// should use: it collapses the three-level nil check (set, timeline,
+// ring) into one call made once per worker at setup time.
+func (m *MetricSet) TimelineRing(w int) *timeline.Ring {
+	if m == nil {
+		return nil
+	}
+	return m.Timeline.Worker(w)
 }
 
 // WorkerBusySnapshot returns the per-worker busy-nanosecond totals

@@ -59,6 +59,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"subsim/internal/obs/timeline"
 )
 
 // Attr is one key/value attachment on a span.
@@ -159,6 +161,39 @@ func (t *Tracer) now() int64 {
 	fn := t.clock
 	t.mu.Unlock()
 	return fn()
+}
+
+// EnableTimeline attaches a per-worker execution timeline (see the
+// internal/obs/timeline package) to the tracer's metric set, using the
+// tracer's *current* clock so fake clocks installed via SetClock flow
+// through to timeline records — the property the golden trace tests rely
+// on. capacityPerWorker <= 0 picks timeline.DefaultCapacity. Idempotent:
+// a second call returns the existing timeline. Returns nil on a nil
+// tracer, keeping the nil-tracer contract: a nil *timeline.Timeline (and
+// the nil *timeline.Ring it hands out) is a zero-cost no-op everywhere.
+func (t *Tracer) EnableTimeline(capacityPerWorker int) *timeline.Timeline {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.metrics.Timeline == nil {
+		// Capture the clock by value: the timeline's readers must never
+		// take the tracer mutex (Ring.Now runs on the per-set hot path).
+		t.metrics.Timeline = timeline.New(capacityPerWorker, t.clock)
+	}
+	return t.metrics.Timeline
+}
+
+// Timeline returns the attached execution timeline, or nil when
+// EnableTimeline was never called (or the tracer is nil).
+func (t *Tracer) Timeline() *timeline.Timeline {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.metrics.Timeline
 }
 
 // Span opens a new root-level span. End it with Span.End. Returns nil

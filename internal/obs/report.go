@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"time"
+
+	"subsim/internal/obs/timeline"
 )
 
 // Schema identifies the run-report JSON document type; Version is bumped
@@ -65,6 +67,10 @@ type Report struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	WorkerSets []int64                      `json:"worker_sets,omitempty"`
 	WorkerBusy []int64                      `json:"worker_busy_ns,omitempty"`
+	// Timeline is the per-phase utilization/imbalance digest of the
+	// execution timeline, present only when EnableTimeline was called
+	// (itself schema-versioned; see timeline.SummarySchema).
+	Timeline *timeline.Summary `json:"timeline,omitempty"`
 }
 
 // Report snapshots the tracer into a schema-versioned document. Open
@@ -118,6 +124,10 @@ func (t *Tracer) Report() *Report {
 	}
 	r.WorkerSets = m.WorkerSnapshot()
 	r.WorkerBusy = m.WorkerBusySnapshot()
+	if m.Timeline != nil {
+		sum := timeline.Summarize(m.Timeline.Snapshot())
+		r.Timeline = &sum
+	}
 	return r
 }
 

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"strconv"
+	"sync"
+)
+
+// PhaseSection tags a recurring hot section for the Go profiling stack:
+// entering a section sets pprof labels (phase=..., workers=...) on the
+// calling goroutine — labels are inherited by goroutines spawned while
+// set, so worker samples attribute to the phase in /debug/pprof
+// profiles — and opens a runtime/trace region visible in `go tool
+// trace`.
+//
+// pprof.Do would do the same but allocates a closure and a context per
+// call; a PhaseSection caches the labeled context once at construction,
+// so Enter/Exit on the steady state is allocation-free (StartRegion
+// returns a shared no-op region while runtime tracing is off, and
+// SetGoroutineLabels does not allocate). Functionally the pair is
+// equivalent to pprof.Do(ctx, labels, f) with f spanning Enter..Exit.
+//
+// A nil *PhaseSection is the disabled instrument: Enter returns a
+// handle whose Exit is also a no-op, per the nil-tracer contract.
+type PhaseSection struct {
+	name string
+	ctx  context.Context
+}
+
+// sectionCache dedups PhaseSections by (phase, workers) so callers can
+// look one up per configuration instead of holding fields everywhere.
+var sectionCache sync.Map // string -> *PhaseSection
+
+// Section returns the canonical PhaseSection for phase with the given
+// worker count, building (and caching process-wide) on first use. The
+// key string allocates, so call this at setup time and keep the result
+// — not inside hot loops.
+func Section(phase string, workers int) *PhaseSection {
+	key := phase + "/" + strconv.Itoa(workers)
+	if v, ok := sectionCache.Load(key); ok {
+		return v.(*PhaseSection)
+	}
+	s := &PhaseSection{
+		name: phase,
+		ctx: pprof.WithLabels(context.Background(), pprof.Labels(
+			"phase", phase,
+			"workers", strconv.Itoa(workers),
+		)),
+	}
+	v, _ := sectionCache.LoadOrStore(key, s)
+	return v.(*PhaseSection)
+}
+
+// SectionHandle is the in-flight state of one Enter, closed by Exit.
+// A zero handle (from a nil section) exits as a no-op.
+type SectionHandle struct {
+	s *PhaseSection
+	r *rtrace.Region
+}
+
+// Enter applies the section's pprof labels to the calling goroutine and
+// opens a runtime/trace region. Must be paired with Exit on the same
+// goroutine. Nil-safe and allocation-free on the steady state.
+func (s *PhaseSection) Enter() SectionHandle {
+	if s == nil {
+		return SectionHandle{}
+	}
+	pprof.SetGoroutineLabels(s.ctx)
+	return SectionHandle{s: s, r: rtrace.StartRegion(s.ctx, s.name)}
+}
+
+// Exit ends the region and restores the goroutine's background labels.
+func (h SectionHandle) Exit() {
+	if h.s == nil {
+		return
+	}
+	h.r.End()
+	pprof.SetGoroutineLabels(context.Background())
+}

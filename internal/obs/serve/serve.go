@@ -14,6 +14,10 @@
 //	           bounds; add ?sse=1 (or Accept: text/event-stream) for a
 //	           server-sent-event stream, ?spans=1 to embed the span tree
 //	/report    the full schema-versioned run report, live
+//	/timeline  per-worker execution-timeline summary (JSON), once
+//	           Tracer.EnableTimeline was called
+//	/trace     the execution timeline as Chrome trace-event JSON —
+//	           load it in Perfetto or chrome://tracing
 //	/debug/*   net/http/pprof and expvar (when Options.Debug)
 //
 // Construct a Plane with New, mount Handler on any mux or call Start to
@@ -88,6 +92,8 @@ func NewWithOptions(tr *obs.Tracer, o Options) *Plane {
 	p.mux.HandleFunc("GET /readyz", p.handleReadyz)
 	p.mux.HandleFunc("GET /progress", p.handleProgress)
 	p.mux.HandleFunc("GET /report", p.handleReport)
+	p.mux.HandleFunc("GET /timeline", p.handleTimeline)
+	p.mux.HandleFunc("GET /trace", p.handleTrace)
 	p.mux.HandleFunc("GET /{$}", p.handleIndex)
 	if o.Debug {
 		p.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -183,6 +189,8 @@ func (p *Plane) handleIndex(w http.ResponseWriter, _ *http.Request) {
 		"  /readyz    readiness (graph loaded)\n"+
 		"  /progress  live run progress (add ?sse=1 to stream, ?spans=1 for the span tree)\n"+
 		"  /report    full run report (JSON)\n"+
+		"  /timeline  per-worker execution-timeline summary (JSON)\n"+
+		"  /trace     Chrome trace-event export (load in Perfetto)\n"+
 		"  /debug/    pprof and expvar\n")
 }
 

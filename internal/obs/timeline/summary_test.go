@@ -1,0 +1,115 @@
+package timeline
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	sum := Summarize(Snapshot{})
+	if sum.Schema != SummarySchema || sum.SchemaVersion != SummarySchemaVersion {
+		t.Fatalf("empty summary not schema-stamped: %+v", sum)
+	}
+	if sum.Phases == nil || len(sum.Phases) != 0 {
+		t.Errorf("empty summary Phases = %#v, want empty non-nil slice", sum.Phases)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	// Two workers: w0 busy [0,100] and [200,300] generating, w1 busy
+	// [50,250] generating; a serial select [400,500] on w0.
+	// Span = 0..500; covered = [0,300] ∪ [400,500] = 400; gap = 100.
+	snap := Snapshot{
+		Workers: 2,
+		Written: 4,
+		Records: []Record{
+			{Worker: 0, Phase: PhaseGenerate, StartNS: 0, EndNS: 100},
+			{Worker: 1, Phase: PhaseGenerate, StartNS: 50, EndNS: 250},
+			{Worker: 0, Phase: PhaseGenerate, StartNS: 200, EndNS: 300},
+			{Worker: 0, Phase: PhaseSelect, StartNS: 400, EndNS: 500},
+		},
+	}
+	sum := Summarize(snap)
+	if sum.Workers != 2 || sum.Records != 4 {
+		t.Fatalf("header = %+v", sum)
+	}
+	if sum.SpanNS != 500 {
+		t.Errorf("SpanNS = %d, want 500", sum.SpanNS)
+	}
+	if sum.BusyNS != 100+200+100+100 {
+		t.Errorf("BusyNS = %d", sum.BusyNS)
+	}
+	if sum.CoveredNS != 400 {
+		t.Errorf("CoveredNS = %d, want 400", sum.CoveredNS)
+	}
+	if sum.SerialGapNS != 100 {
+		t.Errorf("SerialGapNS = %d, want 100", sum.SerialGapNS)
+	}
+	if len(sum.WorkerBusyNS) != 2 || sum.WorkerBusyNS[0] != 300 || sum.WorkerBusyNS[1] != 200 {
+		t.Errorf("WorkerBusyNS = %v", sum.WorkerBusyNS)
+	}
+
+	if len(sum.Phases) != 2 {
+		t.Fatalf("phases = %+v", sum.Phases)
+	}
+	gen := sum.Phases[0]
+	if gen.Phase != "generate" || gen.Records != 3 || gen.BusyNS != 400 || gen.WallNS != 300 || gen.Workers != 2 {
+		t.Errorf("generate phase = %+v", gen)
+	}
+	// w0 busy 200, w1 busy 200 → perfectly balanced.
+	if gen.MaxWorkerNS != 200 || gen.MeanWorkerNS != 200 || math.Abs(gen.Skew-1.0) > 1e-9 {
+		t.Errorf("generate balance = %+v", gen)
+	}
+	sel := sum.Phases[1]
+	if sel.Phase != "select" || sel.Records != 1 || sel.Workers != 1 {
+		t.Errorf("select phase = %+v", sel)
+	}
+}
+
+func TestSummarizeSkew(t *testing.T) {
+	snap := Snapshot{
+		Workers: 2,
+		Records: []Record{
+			{Worker: 0, Phase: PhaseIndexBuild, StartNS: 0, EndNS: 300},
+			{Worker: 1, Phase: PhaseIndexBuild, StartNS: 0, EndNS: 100},
+		},
+	}
+	sum := Summarize(snap)
+	ib := sum.Phases[0]
+	// max 300, mean 200 → skew 1.5: the straggler factor.
+	if ib.MaxWorkerNS != 300 || ib.MeanWorkerNS != 200 || math.Abs(ib.Skew-1.5) > 1e-9 {
+		t.Errorf("index-build = %+v", ib)
+	}
+}
+
+func TestSummarizeNegativeDurationClamped(t *testing.T) {
+	snap := Snapshot{
+		Workers: 1,
+		Records: []Record{{Worker: 0, Phase: PhaseOther, StartNS: 100, EndNS: 50}},
+	}
+	sum := Summarize(snap)
+	if sum.BusyNS != 0 {
+		t.Errorf("BusyNS = %d, want clamp to 0", sum.BusyNS)
+	}
+}
+
+func TestUnionLength(t *testing.T) {
+	cases := []struct {
+		name string
+		recs []Record
+		want int64
+	}{
+		{"empty", nil, 0},
+		{"single", []Record{{StartNS: 0, EndNS: 10}}, 10},
+		{"disjoint", []Record{{StartNS: 0, EndNS: 10}, {StartNS: 20, EndNS: 30}}, 20},
+		{"overlap", []Record{{StartNS: 0, EndNS: 10}, {StartNS: 5, EndNS: 15}}, 15},
+		{"contained", []Record{{StartNS: 0, EndNS: 100}, {StartNS: 10, EndNS: 20}}, 100},
+		{"touching", []Record{{StartNS: 0, EndNS: 10}, {StartNS: 10, EndNS: 20}}, 20},
+		{"unsorted", []Record{{StartNS: 20, EndNS: 30}, {StartNS: 0, EndNS: 10}}, 20},
+	}
+	for _, tc := range cases {
+		if got := unionLength(tc.recs); got != tc.want {
+			t.Errorf("%s: unionLength = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

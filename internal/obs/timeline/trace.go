@@ -1,0 +1,117 @@
+package timeline
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Span is a flattened phase-level interval for the trace's coordinator
+// track — typically rendered from the tracer's live span tree by the
+// serve plane (the timeline package cannot import obs without a cycle,
+// so callers flatten SpanSnapshots into this shape).
+type Span struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns"`
+}
+
+// Trace-event track layout: Perfetto groups events by (pid, tid). The
+// whole process is pid 1; tid 1 is the phase-span (coordinator) track
+// and worker w renders on tid 2+w, so every worker gets one coherent
+// horizontal track.
+const (
+	tracePID     = 1
+	spanTrackTID = 1
+	workerTIDOff = 2
+)
+
+// WriteTrace renders snap (per-worker records) and spans (the phase
+// track) as a Chrome trace-event JSON document loadable in Perfetto or
+// chrome://tracing. Output is deterministic for a deterministic input:
+// fields are emitted in a fixed order and timestamps formatted with
+// fixed precision, so golden tests can pin the exact bytes.
+func WriteTrace(w io.Writer, snap Snapshot, spans []Span) error {
+	// bufio.Writer errors are sticky; the single Flush at the end surfaces
+	// them, so intermediate write errors are discarded deliberately.
+	bw := bufio.NewWriter(w)
+	_, _ = bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	emit := func(ev string) {
+		if !first {
+			_ = bw.WriteByte(',')
+		}
+		first = false
+		_, _ = bw.WriteString("\n")
+		_, _ = bw.WriteString(ev)
+	}
+
+	// Metadata: name the process and the tracks so Perfetto's UI reads
+	// "phases", "worker 0", "worker 1", ... instead of bare tids.
+	emit(metaEvent("process_name", tracePID, 0, "subsim"))
+	emit(metaEvent("thread_name", tracePID, spanTrackTID, "phases"))
+	for w := 0; w < snap.Workers; w++ {
+		emit(metaEvent("thread_name", tracePID, workerTIDOff+w, "worker "+strconv.Itoa(w)))
+	}
+
+	for _, s := range spans {
+		emit(completeEvent(s.Name, spanTrackTID, s.StartNS, s.EndNS))
+	}
+	for _, rec := range snap.Records {
+		emit(completeEvent(rec.Phase.String(), workerTIDOff+rec.Worker, rec.StartNS, rec.EndNS))
+	}
+
+	_, _ = bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// metaEvent renders one "M" metadata event with a fixed field order.
+func metaEvent(name string, pid, tid int, value string) string {
+	return `{"ph":"M","pid":` + strconv.Itoa(pid) +
+		`,"tid":` + strconv.Itoa(tid) +
+		`,"name":"` + name +
+		`","args":{"name":` + strconv.Quote(value) + `}}`
+}
+
+// completeEvent renders one "X" complete event. Trace-event timestamps
+// are microsecond floats; three decimals keeps full nanosecond
+// precision.
+func completeEvent(name string, tid int, startNS, endNS int64) string {
+	dur := endNS - startNS
+	if dur < 0 {
+		dur = 0
+	}
+	return `{"ph":"X","pid":` + strconv.Itoa(tracePID) +
+		`,"tid":` + strconv.Itoa(tid) +
+		`,"name":` + strconv.Quote(name) +
+		`,"ts":` + microString(startNS) +
+		`,"dur":` + microString(dur) + `}`
+}
+
+// microString formats ns as a microsecond decimal with exactly three
+// fractional digits (e.g. 1500 ns → "1.500"), keeping output byte-stable
+// without float formatting.
+func microString(ns int64) string {
+	neg := ns < 0
+	if neg {
+		ns = -ns
+	}
+	whole := ns / 1e3
+	frac := ns % 1e3
+	s := strconv.FormatInt(whole, 10) + "." + pad3(frac)
+	if neg {
+		return "-" + s
+	}
+	return s
+}
+
+func pad3(v int64) string {
+	switch {
+	case v >= 100:
+		return strconv.FormatInt(v, 10)
+	case v >= 10:
+		return "0" + strconv.FormatInt(v, 10)
+	default:
+		return "00" + strconv.FormatInt(v, 10)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"subsim/internal/graph"
 	"subsim/internal/obs"
+	"subsim/internal/obs/timeline"
 	"subsim/internal/rng"
 )
 
@@ -25,6 +26,7 @@ type Instrumented struct {
 	m          *obs.MetricSet
 	workerSets *obs.Counter
 	workerBusy *obs.Counter
+	ring       *timeline.Ring
 }
 
 // skipInstrumentable is implemented by generators that can observe their
@@ -50,23 +52,38 @@ func Instrument(gen Generator, m *obs.MetricSet, workerSets *obs.Counter) Genera
 
 // InstrumentWorker is Instrument wired for worker w of a batcher: the
 // per-worker sets counter plus the per-worker busy-time counter that
-// feeds the live telemetry plane's worker-utilization gauge. Timing each
-// set costs two clock reads, which only the batcher's worker loops —
-// where a set is a full reverse BFS — opt into; the plain Instrument
-// path stays clock-free.
+// feeds the live telemetry plane's worker-utilization gauge, plus —
+// when the metric set carries a timeline — worker w's interval ring, so
+// every generated set leaves a [start,end] record on the worker's
+// timeline track. Timing each set costs two clock reads, which only the
+// batcher's worker loops — where a set is a full reverse BFS — opt
+// into; the plain Instrument path stays clock-free.
 func InstrumentWorker(gen Generator, m *obs.MetricSet, w int) Generator {
 	if m == nil {
 		return gen
 	}
 	ig := Instrument(gen, m, m.WorkerSets(w)).(*Instrumented)
 	ig.workerBusy = m.WorkerBusyNS(w)
+	ig.ring = m.TimelineRing(w)
 	return ig
 }
 
 // Generate delegates to the wrapped generator and records the per-set
-// deltas of its counters.
+// deltas of its counters. When a timeline ring is attached the busy time
+// is read off the ring's lock-free clock and the interval lands on the
+// worker's timeline track too; otherwise the plain wall clock feeds the
+// busy counter alone.
 func (ig *Instrumented) Generate(r *rng.Source, root int32, sentinel []bool) RRSet {
 	before := ig.gen.Stats()
+	if ig.ring != nil {
+		t0 := ig.ring.Now()
+		set := ig.gen.Generate(r, root, sentinel)
+		t1 := ig.ring.Now()
+		ig.workerBusy.Add(t1 - t0)
+		ig.ring.Record(timeline.PhaseGenerate, t0, t1)
+		ig.observe(before, int64(len(set)))
+		return set
+	}
 	var t0 time.Time
 	if ig.workerBusy != nil {
 		t0 = time.Now() //lint:allow timing (per-worker busy-time metric, observability only)
@@ -85,6 +102,15 @@ func (ig *Instrumented) Generate(r *rng.Source, root int32, sentinel []bool) RRS
 //subsim:hotpath
 func (ig *Instrumented) GenerateInto(a *Arena, r *rng.Source, root int32, sentinel []bool) []int32 {
 	before := ig.gen.Stats()
+	if ig.ring != nil {
+		t0 := ig.ring.Now()
+		set := ig.gen.GenerateInto(a, r, root, sentinel)
+		t1 := ig.ring.Now()
+		ig.workerBusy.Add(t1 - t0)
+		ig.ring.Record(timeline.PhaseGenerate, t0, t1)
+		ig.observe(before, int64(len(set)))
+		return set
+	}
 	var t0 time.Time
 	if ig.workerBusy != nil {
 		t0 = time.Now() //lint:allow timing (per-worker busy-time metric, observability only)
@@ -123,10 +149,13 @@ func (ig *Instrumented) Stats() Stats { return ig.gen.Stats() }
 func (ig *Instrumented) ResetStats() { ig.gen.ResetStats() }
 
 // Clone wraps a clone of the inner generator against the same metric
-// set and worker counters.
+// set, worker counters and timeline ring. Ring sharing is safe because a
+// clone replaces — never runs beside — its original on the owning
+// worker, preserving the ring's single-writer discipline.
 func (ig *Instrumented) Clone() Generator {
 	c := Instrument(ig.gen.Clone(), ig.m, ig.workerSets).(*Instrumented)
 	c.workerBusy = ig.workerBusy
+	c.ring = ig.ring
 	return c
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"subsim/internal/graph"
 	"subsim/internal/obs"
+	"subsim/internal/obs/timeline"
 	"subsim/internal/rng"
 )
 
@@ -124,6 +125,76 @@ func TestInstrumentClone(t *testing.T) {
 	}
 }
 
+// TestInstrumentTimelineRecords: with a timeline on the metric set,
+// InstrumentWorker must record exactly one PhaseGenerate interval per
+// set on the worker's own ring, and the interval durations must sum to
+// the same busy time the worker-busy gauge reports.
+func TestInstrumentTimelineRecords(t *testing.T) {
+	g := testGraph(t)
+	m := obs.NewMetricSet()
+	m.Timeline = timeline.New(4096, nil)
+	gen := InstrumentWorker(NewSubsim(g), m, 3)
+	r := rng.New(11)
+	const draws = 100
+	for i := 0; i < draws; i++ {
+		GenerateRandom(gen, r, nil)
+	}
+	ring := m.TimelineRing(3)
+	if ring.Written() != draws {
+		t.Fatalf("ring Written = %d, want %d", ring.Written(), draws)
+	}
+	snap := m.Timeline.Snapshot()
+	var busy int64
+	count := 0
+	for _, rec := range snap.Records {
+		if rec.Worker != 3 {
+			t.Fatalf("record on worker %d, want 3", rec.Worker)
+		}
+		if rec.Phase != timeline.PhaseGenerate {
+			t.Fatalf("record phase %v, want generate", rec.Phase)
+		}
+		if rec.EndNS < rec.StartNS {
+			t.Fatalf("record %#v runs backwards", rec)
+		}
+		busy += rec.EndNS - rec.StartNS
+		count++
+	}
+	if count != draws {
+		t.Fatalf("snapshot has %d records, want %d", count, draws)
+	}
+	if got := m.WorkerBusyNS(3).Load(); got != busy {
+		t.Errorf("worker busy gauge %d != timeline busy sum %d", got, busy)
+	}
+}
+
+// TestInstrumentTimelineGenerateIntoAllocFree pins the timeline
+// acceptance bar on the hot path: steady-state GenerateInto with a ring
+// attached performs zero allocations per set — recording is pure
+// atomics.
+func TestInstrumentTimelineGenerateIntoAllocFree(t *testing.T) {
+	g := testGraph(t)
+	m := obs.NewMetricSet()
+	m.Timeline = timeline.New(4096, nil)
+	gen := InstrumentWorker(NewSubsim(g), m, 0)
+	a := NewArena(0, 0)
+	r := rng.New(12)
+	for i := 0; i < 3; i++ {
+		a.Reset()
+		for j := 0; j < 200; j++ {
+			GenerateRandomInto(gen, a, r, nil)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		a.Reset()
+		for j := 0; j < 200; j++ {
+			GenerateRandomInto(gen, a, r, nil)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("timeline-instrumented GenerateInto allocated %.1f objects per 200 sets, want 0", allocs)
+	}
+}
+
 // TestStatsSub checks the baseline-delta arithmetic the Batcher relies
 // on.
 func TestStatsSub(t *testing.T) {
@@ -169,6 +240,14 @@ func BenchmarkInstrumentedGenerate(b *testing.B) {
 	})
 	b.Run("worker-timed", func(b *testing.B) {
 		m := obs.NewMetricSet()
+		run(b, InstrumentWorker(NewSubsim(g), m, 0))
+	})
+	b.Run("timeline-on", func(b *testing.B) {
+		// Worker timing plus per-set interval recording into the timeline
+		// ring — the full execution-timeline cost. The acceptance bar is
+		// ≤2% over worker-timed: a Record is six uncontended atomics.
+		m := obs.NewMetricSet()
+		m.Timeline = timeline.New(0, nil)
 		run(b, InstrumentWorker(NewSubsim(g), m, 0))
 	})
 	b.Run("live-scraped", func(b *testing.B) {
