@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vet-strict fuzz-smoke test test-alloc race serve-smoke scale-smoke cover bench bench-json bench-scale bench-matrix benchcmp benchcheck benchobs examples experiments quick clean
+.PHONY: all build vet lint vet-strict fuzz-smoke test test-alloc race serve-smoke scale-smoke cover bench bench-json bench-scale bench-sketch bench-matrix benchcmp benchcheck benchobs examples experiments quick clean
 
 all: build vet lint test test-alloc race serve-smoke scale-smoke
 
@@ -32,6 +32,7 @@ fuzz-smoke:
 	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sampling -run '^$$' -fuzz '^FuzzBucketedSampler$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/coverage -run '^$$' -fuzz '^FuzzHLLMerge$$' -fuzztime $(FUZZTIME)
 
 test:
 	$(GO) test ./... 2>&1 | tee test_output.txt
@@ -116,6 +117,17 @@ bench-scale:
 	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label parallel-cover bench_scale.txt
 	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -check arena-csr,parallel-cover -filter '_W1$$'
 
+# Coverage-estimator memory/time crossover: the fill→select path through
+# the exact CSR index vs the HLL sketch backend on the largest bench
+# graph, recorded under the "sketch-cover" label. The "index-bytes"
+# extra column is the evidence: the sketch's register file stays at
+# m bytes/node while the exact index grows with θ. The gate re-checks
+# ns/op of the recorded pair so a sketch slowdown can't creep in.
+bench-sketch:
+	$(GO) test ./internal/im -run '^$$' -bench 'BenchmarkSketchCover' -benchmem 2>&1 | tee bench_sketch.txt
+	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label sketch-cover bench_sketch.txt
+	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -check sketch-cover,sketch-cover
+
 # Workers×graph scaling matrix: sweep the full pipeline (generate,
 # splice, delta CSR build, select) over worker counts, compute per-phase
 # speedup/efficiency curves and least-squares Amdahl serial-fraction
@@ -157,6 +169,6 @@ quick:
 	$(GO) run ./cmd/imbench -quick
 
 clean:
-	rm -f test_output.txt bench_output.txt bench_rrset.txt bench_scale.txt bench_obs.txt imbench graph.bin
+	rm -f test_output.txt bench_output.txt bench_rrset.txt bench_scale.txt bench_sketch.txt bench_obs.txt imbench graph.bin
 	rm -f scalematrix_result.json scalematrix_smoke_report.json
 	rm -rf bin

@@ -287,17 +287,55 @@ func printComparison(w io.Writer, old, cur Run) {
 		}
 	}
 	sort.Strings(names)
-	fmt.Fprintf(w, "%-40s %12s %12s %8s %12s %12s %8s\n",
-		"benchmark", "old ns/op", "new ns/op", "Δ", "old allocs", "new allocs", "Δ")
+	fmt.Fprintf(w, "%-40s %12s %12s %8s %12s %12s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ",
+		"old B/op", "new B/op", "Δ", "old allocs", "new allocs", "Δ")
 	for _, name := range names {
 		o, n := old.Benchmarks[name], cur.Benchmarks[name]
-		fmt.Fprintf(w, "%-40s %12.0f %12.0f %8s %12.0f %12.0f %8s\n",
+		fmt.Fprintf(w, "%-40s %12.0f %12.0f %8s %12.0f %12.0f %8s %12.0f %12.0f %8s\n",
 			strings.TrimPrefix(name, "Benchmark"),
 			o.NsOp, n.NsOp, delta(o.NsOp, n.NsOp),
+			o.BOp, n.BOp, delta(o.BOp, n.BOp),
 			o.AllocsOp, n.AllocsOp, delta(o.AllocsOp, n.AllocsOp))
 	}
 	if len(names) == 0 {
 		fmt.Fprintf(w, "(no common benchmarks between %q and %q)\n", old.Label, cur.Label)
+	}
+	printExtraMetrics(w, names, old, cur)
+}
+
+// printExtraMetrics lists custom b.ReportMetric units recorded in either
+// run (e.g. the sketch-memory "index-bytes" column of the sketch-cover
+// label) as per-unit comparison rows under the main table.
+func printExtraMetrics(w io.Writer, names []string, old, cur Run) {
+	units := map[string]bool{}
+	for _, name := range names {
+		for unit := range old.Benchmarks[name].Extra {
+			units[unit] = true
+		}
+		for unit := range cur.Benchmarks[name].Extra {
+			units[unit] = true
+		}
+	}
+	if len(units) == 0 {
+		return
+	}
+	ordered := make([]string, 0, len(units))
+	for unit := range units {
+		ordered = append(ordered, unit)
+	}
+	sort.Strings(ordered)
+	for _, unit := range ordered {
+		fmt.Fprintf(w, "\n%-40s %14s %14s %8s\n", "benchmark", "old "+unit, "new "+unit, "Δ")
+		for _, name := range names {
+			o, okO := old.Benchmarks[name].Extra[unit]
+			n, okN := cur.Benchmarks[name].Extra[unit]
+			if !okO && !okN {
+				continue
+			}
+			fmt.Fprintf(w, "%-40s %14.0f %14.0f %8s\n",
+				strings.TrimPrefix(name, "Benchmark"), o, n, delta(o, n))
+		}
 	}
 }
 

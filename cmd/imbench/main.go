@@ -13,6 +13,9 @@
 //	-eps     approximation parameter ε (default 0.1)
 //	-seed    RNG seed (default 2020)
 //	-workers RR-generation parallelism (default GOMAXPROCS)
+//	-estimator coverage backend: "exact" (CSR index) or "hll" (sketch)
+//	-sketch-p  HLL register exponent p in [4,16] (0 = default 8)
+//	-bound   sample-complexity analysis: "imm" (worst-case) or "tight"
 //	-k       comma-separated k sweep for fig1/fig4/fig5
 //	-quick   tiny datasets and budgets (smoke test, seconds)
 //	-trace   write a schema-versioned JSON run report covering every
@@ -36,6 +39,7 @@ import (
 	"strconv"
 	"strings"
 
+	"subsim"
 	"subsim/internal/bench"
 	"subsim/internal/obs"
 	"subsim/internal/obs/serve"
@@ -49,6 +53,9 @@ func main() {
 	seed := flag.Uint64("seed", 2020, "random seed")
 	workers := flag.Int("workers", 0, "RR generation workers (0 = GOMAXPROCS)")
 	ks := flag.String("k", "", "comma-separated k sweep (overrides default)")
+	estimator := flag.String("estimator", "exact", "coverage backend: exact or hll")
+	sketchP := flag.Int("sketch-p", 0, "HLL register exponent p in [4,16] (0 = default)")
+	bound := flag.String("bound", "imm", "sample-complexity bound: imm or tight")
 	quick := flag.Bool("quick", false, "tiny smoke-test configuration")
 	tracePath := flag.String("trace", "", "write the JSON run report to this file")
 	metrics := flag.Bool("metrics", false, "dump Prometheus-style metrics to stderr")
@@ -71,6 +78,19 @@ func main() {
 	cfg.Eps = *eps
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	est, err := subsim.ParseEstimator(*estimator)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imbench: %v\n", err)
+		os.Exit(2)
+	}
+	bnd, err := subsim.ParseBound(*bound)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imbench: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Estimator = est
+	cfg.SketchPrecision = *sketchP
+	cfg.Bound = bnd
 	// Oversubscribed workers measure goroutine-partitioning overhead, not
 	// parallel speedup — the trap that poisoned the early W>1 rows of
 	// BENCH_rrset.json (see their "caveat" fields). Shout about it so the
@@ -125,6 +145,8 @@ func main() {
 		tr.SetMeta("scale", *scale)
 		tr.SetMeta("eps", *eps)
 		tr.SetMeta("seed", *seed)
+		tr.SetMeta("estimator", est.String())
+		tr.SetMeta("bound", bnd.String())
 		cfg.Tracer = tr
 	}
 	var plane *serve.Plane

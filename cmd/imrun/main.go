@@ -14,6 +14,15 @@
 //	-eps     approximation parameter ε
 //	-seed    RNG seed
 //	-workers RR-generation parallelism (0 = GOMAXPROCS)
+//	-estimator coverage backend: exact (CSR inverted index, default) or
+//	         hll (HyperLogLog sketches: θ-independent memory, estimates
+//	         within the backend's certified relative error)
+//	-sketch-p HLL register-index width p, 2^p registers per node
+//	         (0 = default 8, i.e. 256 B/node, ~6.5% relative error)
+//	-bound   sample-complexity analysis capping θ: imm (worst-case
+//	         IMM/OPIM-C constants, default) or tight (stop at the smaller
+//	         Sadeh-Cohen-Kaplan-style tightened budget); both budgets are
+//	         reported either way
 //	-mc      forward simulations for the final spread estimate (0 = skip)
 //	-lt      run under the Linear Threshold model (imm/ssa/opimc only)
 //	-repeat  run the algorithm this many times (1 = once; higher values
@@ -76,6 +85,9 @@ func main() {
 	eps := flag.Float64("eps", 0.1, "approximation parameter epsilon")
 	seed := flag.Uint64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "RR generation workers (0 = GOMAXPROCS)")
+	estimator := flag.String("estimator", "exact", "coverage backend: exact or hll")
+	sketchP := flag.Int("sketch-p", 0, "HLL precision p (2^p registers/node, 0 = default)")
+	bound := flag.String("bound", "imm", "sample-complexity bound: imm or tight")
 	mc := flag.Int("mc", 10000, "forward simulations for spread estimate (0 = skip)")
 	lt := flag.Bool("lt", false, "use the Linear Threshold model")
 	repeat := flag.Int("repeat", 1, "run the algorithm this many times")
@@ -105,7 +117,21 @@ func main() {
 		*repeat = 1
 	}
 
-	opt := subsim.Options{K: *k, Eps: *eps, Seed: *seed, Workers: *workers}
+	est, err := subsim.ParseEstimator(*estimator)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imrun: %v\n", err)
+		os.Exit(2)
+	}
+	bnd, err := subsim.ParseBound(*bound)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imrun: %v\n", err)
+		os.Exit(2)
+	}
+
+	opt := subsim.Options{
+		K: *k, Eps: *eps, Seed: *seed, Workers: *workers,
+		Estimator: est, SketchPrecision: *sketchP, Bound: bnd,
+	}
 	if *logFmt != "" {
 		opt.Logger = subsim.NewLogger(os.Stderr, *logFmt)
 	}
@@ -124,6 +150,8 @@ func main() {
 		tr.SetMeta("k", *k)
 		tr.SetMeta("eps", *eps)
 		tr.SetMeta("seed", *seed)
+		tr.SetMeta("estimator", est.String())
+		tr.SetMeta("bound", bnd.String())
 		opt.Tracer = tr
 	}
 
@@ -263,6 +291,13 @@ func printHuman(g *subsim.Graph, alg subsim.Algorithm, res *subsim.Result, k int
 			} else {
 				fmt.Printf("  %s %v", a.Name, a.Total().Round(10e3))
 			}
+		}
+		fmt.Println()
+	}
+	if res.ThetaWorstCase > 0 {
+		fmt.Printf("theta budget: worst-case %d, tightened %d", res.ThetaWorstCase, res.ThetaTight)
+		if saved := res.ThetaWorstCase - res.ThetaTight; saved > 0 {
+			fmt.Printf(" (%.1f%% smaller)", 100*float64(saved)/float64(res.ThetaWorstCase))
 		}
 		fmt.Println()
 	}

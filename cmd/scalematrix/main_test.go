@@ -84,12 +84,15 @@ func TestMedianInt64(t *testing.T) {
 
 func TestBuildCurves(t *testing.T) {
 	cells := []cell{
-		{Graph: "pa:100x4", Gen: "subsim", Workers: 2, PhaseNS: map[string]int64{
+		{Graph: "pa:100x4", Gen: "subsim", Estimator: "exact", Workers: 2, PhaseNS: map[string]int64{
 			"generate": 600, "splice": 100, "index-build": 100, "select": 100, "total": 800}},
-		{Graph: "pa:100x4", Gen: "subsim", Workers: 1, PhaseNS: map[string]int64{
+		{Graph: "pa:100x4", Gen: "subsim", Estimator: "exact", Workers: 1, PhaseNS: map[string]int64{
 			"generate": 1000, "splice": 100, "index-build": 100, "select": 100, "total": 1200}},
+		// A foreign-estimator cell must be filtered out of the sweep.
+		{Graph: "pa:100x4", Gen: "subsim", Estimator: "hll", Workers: 1, PhaseNS: map[string]int64{
+			"generate": 1, "splice": 1, "index-build": 1, "select": 1, "total": 4}},
 	}
-	curves := buildCurves("pa:100x4", "subsim", cellsFor(cells, "pa:100x4", "subsim"))
+	curves := buildCurves("pa:100x4", "subsim", "exact", cellsFor(cells, "pa:100x4", "subsim", "exact"))
 	if len(curves) != len(phaseNames) {
 		t.Fatalf("got %d curves, want %d", len(curves), len(phaseNames))
 	}
@@ -113,8 +116,16 @@ func TestBuildCurves(t *testing.T) {
 }
 
 func TestBenchName(t *testing.T) {
-	got := benchName("pa2000x4", "subsim", "index-build", 4)
-	want := "BenchmarkScaleMatrix_pa2000x4_subsim_indexbuild_W4"
+	// Exact rows keep the historic names so recorded baselines compare.
+	for _, est := range []string{"", "exact"} {
+		got := benchName("pa2000x4", "subsim", est, "index-build", 4)
+		want := "BenchmarkScaleMatrix_pa2000x4_subsim_indexbuild_W4"
+		if got != want {
+			t.Errorf("benchName(est=%q) = %q, want %q", est, got, want)
+		}
+	}
+	got := benchName("pa2000x4", "subsim", "hll", "index-build", 4)
+	want := "BenchmarkScaleMatrix_pa2000x4_subsim_hll_indexbuild_W4"
 	if got != want {
 		t.Errorf("benchName = %q, want %q", got, want)
 	}
@@ -130,10 +141,10 @@ func TestRecordBench(t *testing.T) {
 	doc := &resultDoc{
 		Recorded:  "2026-01-01T00:00:00Z",
 		GoVersion: "go1.24.0",
-		Curves: buildCurves("pa:100x4", "subsim", []cell{
-			{Graph: "pa:100x4", Gen: "subsim", Workers: 1, PhaseNS: map[string]int64{
+		Curves: buildCurves("pa:100x4", "subsim", "exact", []cell{
+			{Graph: "pa:100x4", Gen: "subsim", Estimator: "exact", Workers: 1, PhaseNS: map[string]int64{
 				"generate": 1000, "splice": 10, "index-build": 10, "select": 10, "total": 1030}},
-			{Graph: "pa:100x4", Gen: "subsim", Workers: 2, PhaseNS: map[string]int64{
+			{Graph: "pa:100x4", Gen: "subsim", Estimator: "exact", Workers: 2, PhaseNS: map[string]int64{
 				"generate": 600, "splice": 10, "index-build": 10, "select": 10, "total": 630}},
 		}),
 	}
@@ -191,7 +202,7 @@ func TestRunTinyMatrix(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "matrix.json")
 	reportPath := filepath.Join(dir, "report.json")
-	err := run("pa:500x4", "subsim", "1,2", 1, 600, 2, 5, 7,
+	err := run("pa:500x4", "subsim", "exact,hll", "1,2", 1, 600, 2, 5, 7,
 		jsonPath, filepath.Join(dir, "bench.json"), "tiny", reportPath)
 	if err != nil {
 		t.Fatal(err)
@@ -207,18 +218,24 @@ func TestRunTinyMatrix(t *testing.T) {
 	if doc.Schema != "subsim.scalematrix" || doc.SchemaVersion != 1 {
 		t.Fatalf("schema = %q v%d", doc.Schema, doc.SchemaVersion)
 	}
-	if len(doc.Cells) != 2 {
+	// 2 estimators × 2 worker counts.
+	if len(doc.Cells) != 4 {
 		t.Fatalf("got %d cells", len(doc.Cells))
 	}
+	perEst := map[string]int{}
 	for _, c := range doc.Cells {
+		perEst[c.Estimator]++
 		if c.Timeline == nil || c.Timeline.Records == 0 {
-			t.Errorf("cell W=%d: missing timeline digest", c.Workers)
+			t.Errorf("cell %s W=%d: missing timeline digest", c.Estimator, c.Workers)
 		}
 		if c.PhaseNS["total"] <= 0 {
-			t.Errorf("cell W=%d: no total time", c.Workers)
+			t.Errorf("cell %s W=%d: no total time", c.Estimator, c.Workers)
 		}
 	}
-	if len(doc.Curves) != len(phaseNames) {
+	if perEst["exact"] != 2 || perEst["hll"] != 2 {
+		t.Fatalf("cells per estimator = %v", perEst)
+	}
+	if len(doc.Curves) != 2*len(phaseNames) {
 		t.Fatalf("got %d curves", len(doc.Curves))
 	}
 	if _, err := os.Stat(reportPath); err != nil {

@@ -150,19 +150,23 @@ func sentinelSet(gen rrset.Generator, opt im.Options, phase *obs.Span, eps1, del
 
 	theta0 := bounds.Theta0(delta1)
 	thetaMax := bounds.ThetaMaxSentinel(n, k, eps1, delta1)
+	if opt.Bound == im.BoundTight {
+		if t := bounds.ThetaMaxSentinelTight(n, k, eps1, delta1); t < thetaMax {
+			thetaMax = t
+		}
+	}
 	iMax := ceilLog2Ratio(theta0, thetaMax)
 	deltaU := delta1 / (3 * float64(iMax))
 	deltaL := delta1 / (6 * float64(iMax))
 
 	b1 := im.NewInstrumentedBatcher(gen, opt.Seed, opt.Workers, opt.Tracer.Metrics())
 	outDeg := outDegrees(g)
-	idx1 := coverage.NewIndexObs(n, outDeg, opt.Tracer.Metrics())
-	idx1.SetWorkers(opt.Workers)
+	idx1 := im.NewEstimator(n, outDeg, opt, opt.Tracer.Metrics())
 
 	rep := phase1Report{}
 	theta := theta0
 	sp := phase.Child("sampling")
-	b1.FillIndex(idx1, int(theta), nil)
+	b1.Fill(idx1, int(theta), nil)
 	sp.SetInt("theta", theta).End()
 
 	var sb []int32
@@ -231,7 +235,7 @@ func sentinelSet(gen rrset.Generator, opt im.Options, phase *obs.Span, eps1, del
 		}
 		// Double R₁ and retry.
 		sp := rs.Child("sampling")
-		b1.FillIndex(idx1, int(theta), nil)
+		b1.Fill(idx1, int(theta), nil)
 		sp.SetInt("theta", theta).End()
 		rs.End()
 		theta *= 2
@@ -251,25 +255,33 @@ func imSentinel(gen rrset.Generator, opt im.Options, phase *obs.Span, sb []int32
 	sentinel := markSentinels(n, sb)
 
 	theta0 := bounds.Theta0(delta2)
-	thetaMax := bounds.ThetaMaxIMSentinel(n, k, b, eps2, delta2)
+	thetaWorst := bounds.ThetaMaxIMSentinel(n, k, b, eps2, delta2)
+	thetaTight := bounds.ThetaMaxIMSentinelTight(n, k, b, eps2, delta2)
+	if thetaTight > thetaWorst {
+		thetaTight = thetaWorst
+	}
+	thetaMax := thetaWorst
+	if opt.Bound == im.BoundTight && thetaTight < thetaMax {
+		thetaMax = thetaTight
+		opt.Tracer.Metrics().AddThetaSaved(thetaWorst - thetaTight)
+	}
 	iMax := ceilLog2Ratio(theta0, thetaMax)
 	deltaIter := delta2 / (3 * float64(iMax))
 	target := bounds.GreedyFactor(opt.Eps)
 
 	batch := im.NewInstrumentedBatcher(gen, opt.Seed+1, opt.Workers, opt.Tracer.Metrics())
 	outDeg := outDegrees(g)
-	idx1 := coverage.NewIndexObs(n, outDeg, opt.Tracer.Metrics())
-	idx2 := coverage.NewIndexObs(n, outDeg, opt.Tracer.Metrics())
-	idx1.SetWorkers(opt.Workers)
-	idx2.SetWorkers(opt.Workers)
+	idx1 := im.NewEstimator(n, outDeg, opt, opt.Tracer.Metrics())
+	idx2 := im.NewEstimator(n, outDeg, opt, opt.Tracer.Metrics())
 
-	res := &im.Result{}
+	res := &im.Result{ThetaWorstCase: thetaWorst, ThetaTight: thetaTight}
+	opt.Tracer.Metrics().SetTheta(thetaWorst, thetaTight)
 	var hits1, hits2 int64
 	var theta1, theta2 int64
 	theta := theta0
 	sp := phase.Child("sampling")
-	hits1 += batch.FillIndex(idx1, int(theta), sentinel)
-	hits2 += batch.FillIndex(idx2, int(theta), sentinel)
+	hits1 += batch.Fill(idx1, int(theta), sentinel)
+	hits2 += batch.Fill(idx2, int(theta), sentinel)
 	sp.SetInt("theta", theta).End()
 	theta1, theta2 = theta, theta
 
@@ -303,8 +315,8 @@ func imSentinel(gen rrset.Generator, opt im.Options, phase *obs.Span, sb []int32
 			break
 		}
 		sp := rs.Child("sampling")
-		hits1 += batch.FillIndex(idx1, int(theta), sentinel)
-		hits2 += batch.FillIndex(idx2, int(theta), sentinel)
+		hits1 += batch.Fill(idx1, int(theta), sentinel)
+		hits2 += batch.Fill(idx2, int(theta), sentinel)
 		sp.SetInt("theta", theta).End()
 		rs.End()
 		theta1 += theta

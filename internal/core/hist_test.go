@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"subsim/internal/coverage"
 	"subsim/internal/diffusion"
 	"subsim/internal/graph"
 	"subsim/internal/im"
@@ -220,6 +221,43 @@ func TestMarkSentinels(t *testing.T) {
 	for i := range want {
 		if s[i] != want[i] {
 			t.Fatalf("markSentinels = %v", s)
+		}
+	}
+}
+
+// TestHISTSketchBackend smokes the full HIST pipeline (sentinel
+// selection + IM-sentinel phase) against the HLL estimator and the
+// tightened sample-complexity bound.
+func TestHISTSketchBackend(t *testing.T) {
+	g := highInfluenceGraph(t, 1500)
+	opt := im.Options{K: 20, Eps: 0.25, Seed: 5, Workers: 2,
+		Estimator: coverage.EstimatorHLL, Bound: im.BoundTight}
+	res, err := HIST(rrset.NewSubsim(g), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != opt.K {
+		t.Fatalf("got %d seeds, want %d", len(res.Seeds), opt.K)
+	}
+	if res.Influence <= 0 || res.Influence > float64(g.N()) {
+		t.Fatalf("influence %v out of range", res.Influence)
+	}
+	if res.ThetaWorstCase < 1 || res.ThetaTight < 1 || res.ThetaTight > res.ThetaWorstCase {
+		t.Fatalf("budgets not reported/ordered: worst %d tight %d",
+			res.ThetaWorstCase, res.ThetaTight)
+	}
+	// Same configuration must be deterministic across worker counts.
+	opt.Workers = 8
+	res8, err := HIST(rrset.NewSubsim(g), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res8.Seeds) != len(res.Seeds) {
+		t.Fatalf("workers=8: %d seeds, want %d", len(res8.Seeds), len(res.Seeds))
+	}
+	for i := range res8.Seeds {
+		if res8.Seeds[i] != res.Seeds[i] {
+			t.Fatalf("workers=8: seed %d is %d, want %d", i, res8.Seeds[i], res.Seeds[i])
 		}
 	}
 }

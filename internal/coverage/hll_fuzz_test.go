@@ -1,0 +1,89 @@
+package coverage
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// The HLL register arrays cross package boundaries (per-node blocks are
+// merged into scratch sketches during selection, and external callers
+// may persist and reload them), so merge/union are fuzzed natively over
+// raw register bytes: corrupted registers — including ranks beyond the
+// 64 reachable from a 64-bit hash — must degrade into finite estimates,
+// never panic or poison neighbours; precision (length) mismatches must
+// be rejected without mutating the destination; empty sketches must
+// report the -1 sentinel rather than NaN.
+
+// fuzzMaxRegs bounds the register arrays so the fuzzer explores
+// structure, not allocator throughput (real sketches are ≤ 2^16).
+const fuzzMaxRegs = 1 << 16
+
+func FuzzHLLMerge(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0, 0, 0, 0}, []byte{0, 0, 0, 0})
+	f.Add([]byte{1, 9, 3, 200}, []byte{4, 2, 255, 0}) // corrupted high ranks
+	f.Add([]byte{5, 5}, []byte{7})                    // precision mismatch
+	f.Add(bytes.Repeat([]byte{255}, 256), bytes.Repeat([]byte{0}, 256))
+	f.Add(bytes.Repeat([]byte{0}, 16), bytes.Repeat([]byte{64}, 16))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) > fuzzMaxRegs || len(b) > fuzzMaxRegs {
+			return
+		}
+		origA := append([]byte(nil), a...)
+		origB := append([]byte(nil), b...)
+
+		ua, ub := EstimateUnion(a, b), EstimateUnion(b, a)
+		if len(a) != len(b) || len(a) == 0 {
+			if ua >= 0 || ub >= 0 {
+				t.Fatalf("mismatched/empty union estimated %v / %v, want -1", ua, ub)
+			}
+		} else {
+			if math.IsNaN(ua) || math.IsInf(ua, 0) || ua < 0 {
+				t.Fatalf("union estimate not finite non-negative: %v", ua)
+			}
+			if ua != ub {
+				t.Fatalf("union not symmetric: %v vs %v", ua, ub)
+			}
+			if self := EstimateUnion(a, a); self != EstimateRegisters(a) {
+				t.Fatalf("self-union %v differs from estimate %v", self, EstimateRegisters(a))
+			}
+		}
+		if est := EstimateRegisters(a); len(a) > 0 && (math.IsNaN(est) || math.IsInf(est, 0) || est < 0) {
+			t.Fatalf("estimate over corrupted registers not finite non-negative: %v", est)
+		}
+		if !bytes.Equal(a, origA) || !bytes.Equal(b, origB) {
+			t.Fatal("estimation mutated its operands")
+		}
+
+		ok := MergeRegisters(a, b)
+		if ok != (len(a) == len(b)) {
+			t.Fatalf("merge accepted=%v for lengths %d/%d", ok, len(a), len(b))
+		}
+		if !bytes.Equal(b, origB) {
+			t.Fatal("merge mutated its source")
+		}
+		if !ok {
+			if !bytes.Equal(a, origA) {
+				t.Fatal("rejected merge mutated the destination")
+			}
+			return
+		}
+		for i := range a {
+			want := origA[i]
+			if b[i] > want {
+				want = b[i]
+			}
+			if a[i] != want {
+				t.Fatalf("register %d is %d after merge, want max(%d,%d)", i, a[i], origA[i], b[i])
+			}
+		}
+		// Merge-then-estimate must equal the union estimate over the
+		// originals: both walk max(a[i], b[i]) in the same order.
+		if len(a) > 0 {
+			if got := EstimateRegisters(a); got != ua {
+				t.Fatalf("estimate after merge %v differs from union estimate %v", got, ua)
+			}
+		}
+	})
+}

@@ -43,6 +43,21 @@ type Options struct {
 	// selection. The baselines default to the classic greedy; HIST
 	// always enables it.
 	Revised bool
+	// Estimator selects the coverage backend: the exact CSR inverted
+	// index (the zero value, bit-identical to historic runs) or the
+	// HyperLogLog sketch backend (coverage.EstimatorHLL), which trades
+	// the backend's certified relative error for θ-independent memory.
+	Estimator coverage.EstimatorKind
+	// SketchPrecision is the HLL register-index width p (2^p registers
+	// per node); 0 defaults to coverage.HLLDefaultPrecision. Ignored by
+	// the exact backend.
+	SketchPrecision int
+	// Bound selects the sample-complexity analysis that caps θ:
+	// BoundIMM (the zero value) keeps the worst-case IMM/OPIM-C
+	// constants and historic behavior; BoundTight lets algorithms stop
+	// at the smaller of the worst-case and the Sadeh–Cohen–Kaplan-style
+	// tightened budgets. Both budgets are reported either way.
+	Bound BoundKind
 	// Tracer receives phase spans (per doubling round: sampling,
 	// selection, bound-check) and low-overhead RR metrics, and produces
 	// Result.Report. Nil disables all instrumentation at zero cost —
@@ -53,6 +68,41 @@ type Options struct {
 	// log/slog. Nil — the default — is silent and allocation-free on
 	// every emit site, mirroring the nil-tracer contract.
 	Logger *obs.Logger
+}
+
+// BoundKind selects the sample-complexity analysis used to cap θ.
+type BoundKind int
+
+const (
+	// BoundIMM is the baseline worst-case budget (the IMM/OPIM-C
+	// constants already in internal/bounds).
+	BoundIMM BoundKind = iota
+	// BoundTight engages the tightened two-sided budget
+	// (bounds.ThetaMaxTight / bounds.ThetaTightOPT): algorithms stop at
+	// the smaller certified θ.
+	BoundTight
+)
+
+// String returns the flag-level name of the bound.
+func (b BoundKind) String() string {
+	switch b {
+	case BoundTight:
+		return "tight"
+	default:
+		return "imm"
+	}
+}
+
+// ParseBound maps a flag value ("imm" | "tight") to its kind.
+func ParseBound(s string) (BoundKind, error) {
+	switch s {
+	case "imm", "":
+		return BoundIMM, nil
+	case "tight":
+		return BoundTight, nil
+	default:
+		return BoundIMM, fmt.Errorf("im: unknown bound %q (want imm or tight)", s)
+	}
 }
 
 func (o *Options) Normalize(n int) error {
@@ -103,6 +153,15 @@ type Result struct {
 	SentinelSize int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// ThetaWorstCase is the worst-case RR sample budget θ_max of the
+	// baseline IMM/OPIM-C analysis for this run's (n, k, ε, δ); 0 when
+	// the algorithm does not compute one.
+	ThetaWorstCase int64 `json:",omitempty"`
+	// ThetaTight is the tightened sample budget (Sadeh–Cohen–Kaplan
+	// style, see bounds.ThetaMaxTight) for the same parameters. It is
+	// reported whether or not Options.Bound engaged it, so runs always
+	// show how much the tightened analysis certifies; ≤ ThetaWorstCase.
+	ThetaTight int64 `json:",omitempty"`
 	// Report is the machine-readable observability report (span tree,
 	// histograms, counters) when Options.Tracer was set; nil otherwise.
 	Report *obs.Report `json:",omitempty"`
@@ -405,6 +464,55 @@ func (b *Batcher) FillIndex(idx *coverage.Index, count int, sentinel []bool) (hi
 	}
 	hSpl.Exit()
 	return hits
+}
+
+// Fill generates count RR sets and absorbs them into est, returning the
+// number of sentinel-terminated sets that were skipped. An exact index
+// takes the FillIndex disjoint-range splice path unchanged (bit-for-bit
+// identical to historic behavior); any other estimator consumes the
+// per-worker arenas through AbsorbArena in ascending worker order, which
+// replays the sets in global-index order — so both backends see the same
+// sets with the same ids regardless of the worker count.
+func (b *Batcher) Fill(est coverage.Estimator, count int, sentinel []bool) (hits int64) {
+	if idx, ok := est.(*coverage.Index); ok {
+		return b.FillIndex(idx, count, sentinel)
+	}
+	if count <= 0 {
+		return 0
+	}
+	hGen := b.secGenerate.Enter()
+	used := b.fillArenas(count, sentinel)
+	hGen.Exit()
+	hSpl := b.secSplice.Enter()
+	var start time.Time
+	if b.spliceHist != nil {
+		start = time.Now() //lint:allow timing (absorb duration metric)
+	}
+	for w := 0; w < used; w++ {
+		a := b.arenas[w]
+		hits += est.AbsorbArena(a.Data(), a.Ends(), sentinel)
+	}
+	if b.spliceHist != nil {
+		b.spliceHist.Observe(time.Since(start).Nanoseconds()) //lint:allow timing (absorb duration metric)
+	}
+	hSpl.Exit()
+	return hits
+}
+
+// NewEstimator constructs the coverage backend opt selects, wired to the
+// metric set (which may be nil): the exact CSR index for
+// coverage.EstimatorExact — built exactly as the algorithms historically
+// built it, so default-option runs stay bit-identical — or the HLL
+// sketch backend. Worker bounds are inherited from opt.Workers.
+func NewEstimator(n int, outDeg []int32, opt Options, m *obs.MetricSet) coverage.Estimator {
+	if opt.Estimator == coverage.EstimatorHLL {
+		h := coverage.NewHLLObs(n, outDeg, opt.SketchPrecision, m)
+		h.SetWorkers(opt.Workers)
+		return h
+	}
+	idx := coverage.NewIndexObs(n, outDeg, m)
+	idx.SetWorkers(opt.Workers)
+	return idx
 }
 
 // splice moves the contents of the first `used` arenas into the index

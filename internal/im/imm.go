@@ -45,8 +45,7 @@ func IMM(gen rrset.Generator, opt Options) (*Result, error) {
 	if opt.Revised {
 		outDeg = outDegrees(gen)
 	}
-	idx := coverage.NewIndexObs(n, outDeg, tr.Metrics())
-	idx.SetWorkers(opt.Workers)
+	idx := NewEstimator(n, outDeg, opt, tr.Metrics())
 
 	res := &Result{}
 	lambdaPrime := bounds.IMMLambdaPrime(n, opt.K, epsPrime, l)
@@ -63,7 +62,7 @@ func IMM(gen rrset.Generator, opt Options) (*Result, error) {
 		thetaI := int64(math.Ceil(lambdaPrime / x))
 		if add := thetaI - int64(idx.NumSets()); add > 0 {
 			sp := rs.Child("sampling")
-			b.FillIndex(idx, int(add), nil)
+			b.Fill(idx, int(add), nil)
 			sp.SetInt("theta", add).End()
 		}
 		ss := rs.Child("selection")
@@ -82,10 +81,24 @@ func IMM(gen rrset.Generator, opt Options) (*Result, error) {
 	est1.SetFloat("opt_lower_bound", lb).End()
 
 	ns := run.Child("node-selection")
-	theta := bounds.IMMTheta(n, opt.K, opt.Eps, l, lb)
+	thetaWorst := bounds.IMMTheta(n, opt.K, opt.Eps, l, lb)
+	// The OPT-estimation lower bound also feeds the tightened one-shot
+	// budget: both analyses certify (1-1/e-ε, 1-δ) for the greedy set
+	// over the final collection, so the smaller θ suffices.
+	thetaTight := bounds.ThetaTightOPT(n, opt.K, opt.Eps, opt.Delta, lb)
+	if thetaTight > thetaWorst {
+		thetaTight = thetaWorst
+	}
+	res.ThetaWorstCase, res.ThetaTight = thetaWorst, thetaTight
+	tr.Metrics().SetTheta(thetaWorst, thetaTight)
+	theta := thetaWorst
+	if opt.Bound == BoundTight && thetaTight < theta {
+		theta = thetaTight
+		tr.Metrics().AddThetaSaved(thetaWorst - thetaTight)
+	}
 	if add := theta - int64(idx.NumSets()); add > 0 {
 		sp := ns.Child("sampling")
-		b.FillIndex(idx, int(add), nil)
+		b.Fill(idx, int(add), nil)
 		sp.SetInt("theta", add).End()
 	}
 	ss := ns.Child("selection")

@@ -26,7 +26,12 @@ func OPIMC(gen rrset.Generator, opt Options) (*Result, error) {
 		return nil, err
 	}
 
-	thetaMax := bounds.ThetaMaxOPIMC(n, opt.K, opt.Eps, opt.Delta)
+	thetaWorst := bounds.ThetaMaxOPIMC(n, opt.K, opt.Eps, opt.Delta)
+	thetaTight := bounds.ThetaMaxTight(n, opt.K, opt.Eps, opt.Delta)
+	thetaMax := thetaWorst
+	if opt.Bound == BoundTight && thetaTight < thetaMax {
+		thetaMax = thetaTight
+	}
 	theta0 := bounds.Theta0(opt.Delta)
 	iMax := doublingRounds(theta0, thetaMax)
 	deltaIter := opt.Delta / (3 * float64(iMax))
@@ -40,16 +45,15 @@ func OPIMC(gen rrset.Generator, opt Options) (*Result, error) {
 	if opt.Revised {
 		outDeg = outDegrees(gen)
 	}
-	idx1 := coverage.NewIndexObs(n, outDeg, tr.Metrics())
-	idx2 := coverage.NewIndexObs(n, outDeg, tr.Metrics())
-	idx1.SetWorkers(opt.Workers)
-	idx2.SetWorkers(opt.Workers)
+	idx1 := NewEstimator(n, outDeg, opt, tr.Metrics())
+	idx2 := NewEstimator(n, outDeg, opt, tr.Metrics())
 
-	res := &Result{}
+	res := &Result{ThetaWorstCase: thetaWorst, ThetaTight: thetaTight}
+	tr.Metrics().SetTheta(thetaWorst, thetaTight)
 	theta := theta0
 	sp := run.Child("sampling")
-	b.FillIndex(idx1, int(theta), nil)
-	b.FillIndex(idx2, int(theta), nil)
+	b.Fill(idx1, int(theta), nil)
+	b.Fill(idx2, int(theta), nil)
 	sp.SetInt("theta", theta).End()
 
 	for i := 1; ; i++ {
@@ -71,7 +75,18 @@ func OPIMC(gen rrset.Generator, opt Options) (*Result, error) {
 		tr.Metrics().SetBounds(i, res.LowerBound, res.UpperBound, res.Approx)
 		opt.Logger.RoundDone("opimc", i, int64(idx1.NumSets()), res.LowerBound, res.UpperBound, res.Approx)
 		rs.SetInt("theta", int64(idx1.NumSets())).SetFloat("approx", res.Approx)
-		if res.Approx > target || i >= iMax {
+		if opt.Bound == BoundTight && res.LowerBound > float64(opt.K) {
+			// The certified influence lower bound is an OPT lower bound,
+			// so the adaptive tightened budget may shrink θ_max further.
+			if t := bounds.ThetaTightOPT(n, opt.K, opt.Eps, opt.Delta, res.LowerBound); t < thetaMax {
+				thetaMax = t
+			}
+		}
+		stop := res.Approx > target || i >= iMax
+		if opt.Bound == BoundTight && int64(idx1.NumSets()) >= thetaMax {
+			stop = true
+		}
+		if stop {
 			if res.Approx > target {
 				opt.Logger.BoundCrossed("opimc", i, res.Approx, target)
 			}
@@ -79,11 +94,14 @@ func OPIMC(gen rrset.Generator, opt Options) (*Result, error) {
 			break
 		}
 		sp := rs.Child("sampling")
-		b.FillIndex(idx1, int(theta), nil)
-		b.FillIndex(idx2, int(theta), nil)
+		b.Fill(idx1, int(theta), nil)
+		b.Fill(idx2, int(theta), nil)
 		sp.SetInt("theta", theta).End()
 		rs.End()
 		theta *= 2
+	}
+	if opt.Bound == BoundTight && thetaMax < thetaWorst {
+		tr.Metrics().AddThetaSaved(thetaWorst - thetaMax)
 	}
 	res.RRStats = b.Stats()
 	run.SetInt("rounds", int64(res.Rounds)).End()

@@ -1,0 +1,54 @@
+package im
+
+import (
+	"testing"
+
+	"subsim/internal/coverage"
+	"subsim/internal/rrset"
+)
+
+// benchSketchCover measures the fill→select path through a pluggable
+// coverage estimator backend on the largest bench graph, and reports the
+// backend's resident index bytes as the "index-bytes" column. Recorded
+// under the "sketch-cover" label in BENCH_rrset.json (make bench-sketch),
+// the exact-vs-HLL pair is the memory/time crossover evidence: the exact
+// CSR index grows linearly with the RR collection while the sketch stays
+// at m bytes per node regardless of θ.
+func benchSketchCover(b *testing.B, kind coverage.EstimatorKind, workers, setsPer int) {
+	b.Helper()
+	g := benchGraph(b, 5000, 40000)
+	n := g.N()
+	batch := NewBatcher(rrset.NewSubsim(g), 42, workers)
+	opt := Options{K: 50, Workers: workers, Estimator: kind}
+	// Warm the worker scratch so steady-state costs are measured.
+	warm := NewEstimator(n, nil, opt, nil)
+	batch.Fill(warm, setsPer, nil)
+	warm.SelectSeeds(coverage.GreedyOptions{K: 50})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var mem int64
+	for i := 0; i < b.N; i++ {
+		est := NewEstimator(n, nil, opt, nil)
+		batch.Fill(est, setsPer, nil)
+		est.SelectSeeds(coverage.GreedyOptions{K: 50})
+		mem = est.MemoryBytes()
+	}
+	b.ReportMetric(float64(mem), "index-bytes")
+	b.ReportMetric(float64(setsPer), "sets/op")
+}
+
+func BenchmarkSketchCover_Exact_W1(b *testing.B) {
+	benchSketchCover(b, coverage.EstimatorExact, 1, 50000)
+}
+
+func BenchmarkSketchCover_HLL_W1(b *testing.B) {
+	benchSketchCover(b, coverage.EstimatorHLL, 1, 50000)
+}
+
+func BenchmarkSketchCover_Exact_W4(b *testing.B) {
+	benchSketchCover(b, coverage.EstimatorExact, 4, 50000)
+}
+
+func BenchmarkSketchCover_HLL_W4(b *testing.B) {
+	benchSketchCover(b, coverage.EstimatorHLL, 4, 50000)
+}

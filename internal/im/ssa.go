@@ -37,7 +37,12 @@ func SSA(gen rrset.Generator, opt Options) (*Result, error) {
 	eps2 := opt.Eps / 2
 	eps3 := opt.Eps / 3
 
-	thetaMax := bounds.ThetaMaxOPIMC(n, opt.K, opt.Eps, opt.Delta)
+	thetaWorst := bounds.ThetaMaxOPIMC(n, opt.K, opt.Eps, opt.Delta)
+	thetaTight := bounds.ThetaMaxTight(n, opt.K, opt.Eps, opt.Delta)
+	thetaMax := thetaWorst
+	if opt.Bound == BoundTight && thetaTight < thetaMax {
+		thetaMax = thetaTight
+	}
 	// Λ: initial sample size from the SSA paper (the ln C(n,k) term
 	// belongs only in the worst-case cap θ_max, not in the optimistic
 	// starting size).
@@ -58,17 +63,20 @@ func SSA(gen rrset.Generator, opt Options) (*Result, error) {
 	if opt.Revised {
 		outDeg = outDegrees(gen)
 	}
-	idx := coverage.NewIndexObs(n, outDeg, tr.Metrics())
-	idx.SetWorkers(opt.Workers)
+	idx := NewEstimator(n, outDeg, opt, tr.Metrics())
 
-	res := &Result{}
+	res := &Result{ThetaWorstCase: thetaWorst, ThetaTight: thetaTight}
+	tr.Metrics().SetTheta(thetaWorst, thetaTight)
+	if opt.Bound == BoundTight && thetaMax < thetaWorst {
+		tr.Metrics().AddThetaSaved(thetaWorst - thetaMax)
+	}
 	theta := lambda
 	for t := 1; ; t++ {
 		res.Rounds = t
 		rs := run.Child(obs.Round(t))
 		if add := theta - int64(idx.NumSets()); add > 0 {
 			sp := rs.Child("sampling")
-			b.FillIndex(idx, int(add), nil)
+			b.Fill(idx, int(add), nil)
 			sp.SetInt("theta", add).End()
 		}
 		ss := rs.Child("selection")

@@ -42,8 +42,7 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 	if opt.Revised {
 		outDeg = outDegrees(gen)
 	}
-	idx := coverage.NewIndexObs(n, outDeg, tr.Metrics())
-	idx.SetWorkers(opt.Workers)
+	idx := NewEstimator(n, outDeg, opt, tr.Metrics())
 
 	// In-degrees for w(R).
 	inDeg := make([]int64, n)
@@ -111,9 +110,8 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 	if limit := int64(4 * float64(n)); thetaPrime > limit {
 		thetaPrime = limit
 	}
-	fresh := coverage.NewIndexObs(n, outDeg, tr.Metrics())
-	fresh.SetWorkers(opt.Workers)
-	b.FillIndex(fresh, int(thetaPrime), nil)
+	fresh := NewEstimator(n, outDeg, opt, tr.Metrics())
+	b.Fill(fresh, int(thetaPrime), nil)
 	covFresh := fresh.CoverageOf(selPrev.Seeds)
 	kptPrime := float64(covFresh) / float64(fresh.NumSets()) * float64(n) / (1 + epsPrime)
 	if kptPrime > kpt {
@@ -125,9 +123,22 @@ func TIMPlus(gen rrset.Generator, opt Options) (*Result, error) {
 	ns := run.Child("node-selection")
 	lambda := (8 + 2*opt.Eps) * float64(n) *
 		(l*logn + bounds.LogChoose(n, opt.K) + math.Ln2) / (opt.Eps * opt.Eps)
-	theta := int64(math.Ceil(lambda / kpt))
+	thetaWorst := int64(math.Ceil(lambda / kpt))
+	// KPT* lower-bounds OPT, so it also feeds the tightened one-shot
+	// budget; both analyses certify the final greedy set.
+	thetaTightC := bounds.ThetaTightOPT(n, opt.K, opt.Eps, opt.Delta, kpt)
+	if thetaTightC > thetaWorst {
+		thetaTightC = thetaWorst
+	}
+	res.ThetaWorstCase, res.ThetaTight = thetaWorst, thetaTightC
+	tr.Metrics().SetTheta(thetaWorst, thetaTightC)
+	theta := thetaWorst
+	if opt.Bound == BoundTight && thetaTightC < theta {
+		theta = thetaTightC
+		tr.Metrics().AddThetaSaved(thetaWorst - thetaTightC)
+	}
 	if add := theta - int64(idx.NumSets()); add > 0 {
-		b.FillIndex(idx, int(add), nil)
+		b.Fill(idx, int(add), nil)
 	}
 	sel := idx.SelectSeeds(coverage.GreedyOptions{K: opt.K, Revised: opt.Revised})
 	ns.SetInt("theta", int64(idx.NumSets())).End()

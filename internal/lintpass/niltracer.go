@@ -25,6 +25,10 @@ var trackedObsTypes = map[string]string{
 	"Histogram": "internal/obs",
 	"Timeline":  "internal/obs/timeline",
 	"Ring":      "internal/obs/timeline",
+	// The HLL sketch estimator follows the same contract: a nil *HLL is
+	// a valid "no sketch" value, so its exported methods must nil-check
+	// before touching the register file.
+	"HLL": "internal/coverage",
 }
 
 // NilTracer proves the nil-safety contract: for every exported function

@@ -1,0 +1,51 @@
+// Package coverage is the niltracer fixture for the estimator types:
+// the directory suffix internal/coverage makes HLL tracked, so a nil
+// *HLL must be a safe "no sketch" value — every exported function or
+// method taking one must nil-check before touching the register file.
+package coverage
+
+// HLL is the fixture stand-in for the sketch estimator.
+type HLL struct {
+	regs    []uint8
+	numSets int
+}
+
+// BadNumSets dereferences a field before any nil check.
+func BadNumSets(h *HLL) int {
+	return h.numSets // want `access to field numSets`
+}
+
+// MemoryBytes guards with the early-return idiom.
+func (h *HLL) MemoryBytes() int64 {
+	if h == nil {
+		return 0
+	}
+	return int64(len(h.regs))
+}
+
+// NumSets uses the single-line short-circuit guard.
+func (h *HLL) NumSets() int {
+	if h == nil || h.numSets < 0 {
+		return 0
+	}
+	return h.numSets
+}
+
+// Add is the hot-path shape: guard first, then mutate registers.
+func (h *HLL) Add(slot int, rank uint8) {
+	if h == nil {
+		return
+	}
+	if rank > h.regs[slot] {
+		h.regs[slot] = rank
+	}
+}
+
+// BadMerge mutates the receiver's registers with no guard.
+func (h *HLL) BadMerge(src []uint8) {
+	for i, r := range src {
+		if r > h.regs[i] { // want `access to field regs`
+			h.regs[i] = r // want `access to field regs`
+		}
+	}
+}

@@ -256,6 +256,19 @@ type MetricSet struct {
 	Approx Gauge
 	Round  IntGauge
 
+	// SketchBytes is the resident size of the sketch coverage backend's
+	// register file (bytes); stays 0 on exact-CSR runs, so its presence
+	// in a report identifies the estimator that produced it.
+	SketchBytes IntGauge
+	// ThetaWorst and ThetaTight are the worst-case (IMM/OPIM-C) and
+	// tightened (Sadeh–Cohen–Kaplan style) RR sample budgets of the
+	// current run, published through SetTheta. ThetaSaved accumulates
+	// the budget reduction actually engaged when Options.Bound selects
+	// the tightened analysis.
+	ThetaWorst IntGauge
+	ThetaTight IntGauge
+	ThetaSaved Counter
+
 	mu         sync.Mutex
 	workers    []*Counter
 	workerBusy []*Counter
@@ -354,4 +367,24 @@ func (m *MetricSet) SetBounds(round int, lower, upper, approx float64) {
 	m.Upper.Set(upper)
 	m.Approx.Set(approx)
 	m.Round.Set(int64(round))
+}
+
+// SetTheta publishes the run's worst-case and tightened RR sample
+// budgets. Nil-safe, allocation-free: two atomic stores.
+func (m *MetricSet) SetTheta(worst, tight int64) {
+	if m == nil {
+		return
+	}
+	m.ThetaWorst.Set(worst)
+	m.ThetaTight.Set(tight)
+}
+
+// AddThetaSaved accumulates RR sample budget shaved off by an engaged
+// tightened bound. Nil-safe, like every instrument entry point, so
+// algorithm code can call it through a disabled tracer.
+func (m *MetricSet) AddThetaSaved(d int64) {
+	if m == nil || d <= 0 {
+		return
+	}
+	m.ThetaSaved.Add(d)
 }

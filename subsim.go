@@ -39,6 +39,7 @@ import (
 	"os"
 
 	"subsim/internal/core"
+	"subsim/internal/coverage"
 	"subsim/internal/diffusion"
 	"subsim/internal/graph"
 	"subsim/internal/heuristics"
@@ -82,6 +83,42 @@ type Options = im.Options
 // Result.Report carries the observability run report when a Tracer was
 // attached.
 type Result = im.Result
+
+// EstimatorKind selects the coverage backend via Options.Estimator: the
+// exact CSR inverted index (the zero value) or the HyperLogLog sketch
+// backend, which trades a certified relative error for θ-independent
+// memory. See coverage.Estimator for the contract.
+type EstimatorKind = coverage.EstimatorKind
+
+// Coverage estimator backends.
+const (
+	// EstimatorExact is the exact CSR inverted index (default;
+	// bit-identical to historic runs).
+	EstimatorExact = coverage.EstimatorExact
+	// EstimatorHLL is the register-array HyperLogLog sketch backend.
+	EstimatorHLL = coverage.EstimatorHLL
+)
+
+// ParseEstimator maps a flag value ("exact" | "hll") to its kind.
+func ParseEstimator(s string) (EstimatorKind, error) { return coverage.ParseEstimator(s) }
+
+// BoundKind selects the sample-complexity analysis capping θ via
+// Options.Bound: the worst-case IMM/OPIM-C constants (the zero value)
+// or the Sadeh–Cohen–Kaplan-style tightened budget, which lets
+// algorithms stop at the smaller certified θ. Both are reported in
+// Result.ThetaWorstCase / Result.ThetaTight either way.
+type BoundKind = im.BoundKind
+
+// Sample-complexity bounds.
+const (
+	// BoundIMM keeps the worst-case IMM/OPIM-C budget (default).
+	BoundIMM = im.BoundIMM
+	// BoundTight engages the tightened budget.
+	BoundTight = im.BoundTight
+)
+
+// ParseBound maps a flag value ("imm" | "tight") to its kind.
+func ParseBound(s string) (BoundKind, error) { return im.ParseBound(s) }
 
 // Tracer records phase spans and low-overhead RR-generation metrics for
 // a run; construct one with NewTracer and attach it to Options.Tracer.
