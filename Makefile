@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vet-strict fuzz-smoke test test-alloc race serve-smoke scale-smoke cover bench bench-json bench-scale bench-sketch bench-matrix benchcmp benchcheck benchobs examples experiments quick clean
+.PHONY: all build vet lint vet-strict escape-gate escape-baseline fuzz-smoke test test-alloc race serve-smoke scale-smoke cover bench bench-json bench-scale bench-sketch bench-matrix benchcmp benchcheck benchobs examples experiments quick clean
 
-all: build vet lint test test-alloc race serve-smoke scale-smoke
+all: build vet lint test test-alloc race serve-smoke scale-smoke escape-gate
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,17 @@ lint:
 vet-strict:
 	$(GO) build -o bin/subsimlint ./cmd/subsimlint
 	$(GO) vet -vettool=bin/subsimlint ./...
+
+# Compiler-telemetry gate: compile with -m=1 and check_bce debugging
+# (forced rebuild, so the build cache cannot swallow diagnostics) and
+# fail if any //subsim:hotpath function gained a heap escape or bounds
+# check over the committed lint_baseline.json budget.
+escape-gate:
+	$(GO) run ./cmd/subsimlint -compiler -baseline lint_baseline.json ./...
+
+# Deliberately refresh the budget after a reviewed change.
+escape-baseline:
+	$(GO) run ./cmd/subsimlint -compiler -baseline lint_baseline.json -baseline-write ./...
 
 # 30s native-fuzzing smoke pass per target over the untrusted-input
 # parsers and the bucketed sampler invariants (seed corpora committed

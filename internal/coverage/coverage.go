@@ -227,6 +227,8 @@ func (x *Index) MemoryBytes() int64 {
 // node-range-partitioned parallel path of parallel.go; both paths
 // produce byte-identical heads/postings and reuse the same double
 // buffers, so the choice is invisible outside this method.
+//
+//subsim:parallel
 func (x *Index) ensureIndexed() {
 	total := x.store.NumSets()
 	if x.indexed == total {
@@ -574,6 +576,8 @@ func (h *celfHeap) pop() celfEntry {
 // Per-run scratch (heap backing array, gain vector, selected marks) is
 // reused across calls, so repeated selection rounds on a warm index do
 // not allocate beyond the returned Seeds/Coverage slices.
+//
+//subsim:parallel
 func (x *Index) SelectSeeds(opt GreedyOptions) GreedyResult {
 	k := opt.K
 	if k > x.n {

@@ -357,6 +357,8 @@ func (h *HLL) Add(set rrset.RRSet) {
 // global ids in buffer order, so the register file — and every estimate
 // derived from it — is identical to absorbing the sets one Add at a
 // time, for any worker count.
+//
+//subsim:parallel
 func (h *HLL) AbsorbArena(data []int32, ends []int64, sentinel []bool) int64 {
 	if h == nil || len(ends) == 0 {
 		return 0
@@ -404,6 +406,8 @@ func (h *HLL) absorbSpan(data []int32, s hllSpan) {
 // worker scans all spans but only writes registers of nodes in its
 // range. Writes are disjoint and max-folds commute, so the register
 // file is byte-identical for any worker count.
+//
+//subsim:parallel
 func (h *HLL) absorbParallel(data []int32, spans []hllSpan) {
 	workers := h.workers
 	runParallel(workers, func(w int) {

@@ -44,6 +44,8 @@ var parallelGainsMinNodes = 1 << 12
 // runParallel executes fn(w) for w in [0, workers): workers-1 goroutines
 // plus the calling goroutine, joining before it returns. fn must confine
 // its writes to worker-w-owned ranges.
+//
+//subsim:parallel
 func runParallel(workers int, fn func(w int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)

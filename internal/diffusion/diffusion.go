@@ -155,6 +155,8 @@ func (e *Estimator) Estimate(r *rng.Source, seeds []int32, samples int, model Mo
 // independent RNG stream split from seed, and returns the average
 // activation count. The result is deterministic for fixed seed, workers
 // and samples.
+//
+//subsim:parallel
 func EstimateParallel(g *graph.Graph, seeds []int32, samples int, model Model, seed uint64, workers int) float64 {
 	if samples <= 0 {
 		return 0

@@ -43,6 +43,8 @@ func zFor(confidence float64) float64 {
 // returns the mean activation count with a `confidence`-level normal
 // interval. The interval reflects Monte-Carlo error only (the estimator
 // is unbiased); for certified bounds use the RR-based oracle instead.
+//
+//subsim:parallel
 func EstimateInterval(g *graph.Graph, seeds []int32, samples int, model Model, confidence float64, seed uint64, workers int) Interval {
 	if samples <= 0 {
 		return Interval{}

@@ -313,6 +313,8 @@ func setSeed(base uint64, idx int64) uint64 {
 // holding the w-th contiguous block of global indices, and returns the
 // number of arenas used (a prefix of b.arenas). Arenas are reused across
 // calls: steady-state generation performs zero per-set allocations.
+//
+//subsim:parallel
 func (b *Batcher) fillArenas(count int, sentinel []bool) (used int) {
 	first := b.next
 	b.next += int64(count)
@@ -446,6 +448,8 @@ func (b *Batcher) ResetStats() {
 // byte-identical to the serial per-set append regardless of the worker
 // count, and steady-state cost is two memcpys per worker — no per-set
 // allocation, no per-set call.
+//
+//subsim:parallel
 func (b *Batcher) FillIndex(idx *coverage.Index, count int, sentinel []bool) (hits int64) {
 	if count <= 0 {
 		return 0
@@ -520,6 +524,8 @@ func NewEstimator(n int, outDeg []int32, opt Options, m *obs.MetricSet) coverage
 // sets skipped. used==1 splices inline; otherwise the counting pass and
 // the copy pass each fan out across the arenas, with a serial O(used)
 // prefix sum in between assigning destination offsets.
+//
+//subsim:parallel
 func (b *Batcher) splice(idx *coverage.Index, used int, sentinel []bool) int64 {
 	if used == 1 {
 		r := b.ring(0)

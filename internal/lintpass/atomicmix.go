@@ -1,0 +1,267 @@
+package lintpass
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix enforces the copy-on-write / seqlock field discipline the
+// obs and timeline layers are built on: once a struct field is accessed
+// through sync/atomic anywhere in the package, every other access to
+// that field must stay atomic. One plain read of a seqlock sequence
+// word, or one plain store next to an atomic.Pointer publish, compiles
+// fine and usually survives `-race` (the torture tests only catch the
+// interleaving probabilistically) but silently voids the
+// memory-ordering contract documented in DESIGN.md.
+//
+// Two field families are tracked:
+//
+//   - function-style atomics: a field whose address is passed to a
+//     sync/atomic function (atomic.LoadInt64(&s.f), atomic.AddUint32,
+//     …). Every other appearance of that field must also be an
+//     &s.f-into-sync/atomic argument — a plain read, a plain write, or
+//     an address escape to non-atomic code is an error.
+//   - type-style atomics: a field declared with a sync/atomic type
+//     (atomic.Int64, atomic.Uint64, atomic.Pointer[T], …). The methods
+//     are the only legal access; assigning over the field (s.seq =
+//     atomic.Uint64{} resets the generation counter out from under
+//     readers) or copying its value out are errors.
+//
+// Constructors are exempt: before the value is published there are no
+// concurrent readers, so New*/new* functions (and package init) may
+// initialise tracked fields plainly. Deliberate single-goroutine phases
+// the analyzer cannot see are waived with //lint:allow atomic <reason>.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag plain reads/writes of struct fields that are accessed through sync/atomic elsewhere in the package",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	pass.Directives.markChecked(ClassAtomic)
+
+	// Pass 1 — find the tracked fields: fields whose address feeds a
+	// sync/atomic call anywhere in the package (function-style), plus
+	// the set of those argument expressions so pass 2 can whitelist
+	// them.
+	funcStyle := map[*types.Var]bool{}
+	atomicArgs := map[ast.Expr]bool{} // the &x.f nodes inside sync/atomic calls
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := selectedField(pass, sel); v != nil {
+					funcStyle[v] = true
+					atomicArgs[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2 — walk every access and classify it. Parent links are
+	// needed to tell a method-call receiver from a value copy and an
+	// assignment target from a read.
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ctor := constructorRanges(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := selectedField(pass, sel)
+			if v == nil {
+				return true
+			}
+			if inRanges(ctor, sel.Pos()) {
+				return true // pre-publication initialisation
+			}
+			switch {
+			case funcStyle[v]:
+				checkFuncStyleAccess(pass, sel, v, parents, atomicArgs)
+			case isSyncAtomicType(v.Type()):
+				checkTypeStyleAccess(pass, sel, v, parents)
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncStyleAccess flags any appearance of a function-style atomic
+// field that is not an &field argument to a sync/atomic call.
+func checkFuncStyleAccess(pass *Pass, sel *ast.SelectorExpr, v *types.Var, parents map[ast.Node]ast.Node, atomicArgs map[ast.Expr]bool) {
+	if atomicArgs[sel] {
+		return
+	}
+	name := v.Name()
+	switch p := parents[sel].(type) {
+	case *ast.UnaryExpr:
+		if p.Op.String() == "&" {
+			pass.Report(sel.Pos(), ClassAtomic,
+				"address of atomic field %q escapes to non-atomic code; field is accessed through sync/atomic elsewhere in this package", name)
+			return
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == sel {
+				pass.Report(sel.Pos(), ClassAtomic,
+					"plain write of atomic field %q; field is accessed through sync/atomic elsewhere in this package (use atomic store)", name)
+				return
+			}
+		}
+	case *ast.IncDecStmt:
+		pass.Report(sel.Pos(), ClassAtomic,
+			"plain %s of atomic field %q; field is accessed through sync/atomic elsewhere in this package (use atomic add)", p.Tok, name)
+		return
+	}
+	pass.Report(sel.Pos(), ClassAtomic,
+		"plain read of atomic field %q; field is accessed through sync/atomic elsewhere in this package (use atomic load)", name)
+}
+
+// checkTypeStyleAccess flags assigning over or copying out a field of a
+// sync/atomic type; taking its address and calling its methods are the
+// legal accesses.
+func checkTypeStyleAccess(pass *Pass, sel *ast.SelectorExpr, v *types.Var, parents map[ast.Node]ast.Node) {
+	name := v.Name()
+	switch p := parents[sel].(type) {
+	case *ast.SelectorExpr:
+		if p.X == sel {
+			return // method call or nested field: s.endNS.Load()
+		}
+	case *ast.IndexExpr:
+		if p.X == sel {
+			return // element of an atomic array field: h.buckets[b].Add(1)
+		}
+	case *ast.UnaryExpr:
+		if p.Op.String() == "&" {
+			return // &s.endNS handed to code that uses the methods
+		}
+	case *ast.CallExpr:
+		if id, ok := p.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return // len(h.buckets) and friends read no atomic state
+			}
+		}
+	case *ast.RangeStmt:
+		if p.X == sel {
+			if p.Value == nil {
+				return // index-only range copies nothing
+			}
+			pass.Report(sel.Pos(), ClassAtomic,
+				"ranging over atomic field %q by value copies each element outside its atomic API; range by index instead", name)
+			return
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == sel {
+				pass.Report(sel.Pos(), ClassAtomic,
+					"assignment over atomic-typed field %q resets it out from under concurrent readers; use its Store method", name)
+				return
+			}
+		}
+	}
+	pass.Report(sel.Pos(), ClassAtomic,
+		"plain read of atomic-typed field %q copies the value without a Load (and trips the noCopy check); use %s.Load()",
+		name, name)
+}
+
+// selectedField resolves sel to the struct field it reads, or nil.
+func selectedField(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports whether call invokes a function from
+// sync/atomic (atomic.LoadInt64, atomic.StorePointer, …).
+func isSyncAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	_, isFunc := obj.(*types.Func)
+	return isFunc && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isSyncAtomicType reports whether t (or the element behind one level of
+// array) is a named sync/atomic type: atomic.Bool, atomic.Int64,
+// atomic.Pointer[T], atomic.Value, ….
+func isSyncAtomicType(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		t = arr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// constructorRanges returns the source extents of the file's
+// constructor-like functions: New*/new* and package init, where plain
+// initialisation of tracked fields is legal because the value is not
+// yet published.
+func constructorRanges(f *ast.File) [][2]int {
+	var out [][2]int
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		name := fn.Name.Name
+		if strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || (name == "init" && fn.Recv == nil) {
+			out = append(out, [2]int{int(fn.Pos()), int(fn.End())})
+		}
+	}
+	return out
+}
+
+func inRanges(ranges [][2]int, pos token.Pos) bool {
+	p := int(pos)
+	for _, r := range ranges {
+		if p >= r[0] && p < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// parentMap links every node in f to its syntactic parent.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

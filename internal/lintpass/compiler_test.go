@@ -1,0 +1,252 @@
+package lintpass
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The compiler-telemetry tests build throwaway modules under t.TempDir:
+// a fresh module is never in the build cache, so the compiler replays
+// its -m / check_bce diagnostics without the forced -a rebuild the
+// production gate uses.
+
+const cleanHot = `package kernel
+
+// sum is the clean hot path: stack-only, bounds checks eliminated by
+// the len-bounded loop.
+//
+//subsim:hotpath
+func sum(xs []int64) int64 {
+	var s int64
+	for i := range xs {
+		s += xs[i]
+	}
+	return s
+}
+
+// Accumulate is the exported entry so the package is not empty of
+// non-hotpath code.
+func Accumulate(xs []int64) int64 {
+	return sum(xs)
+}
+`
+
+// dirtyHot injects both regressions into the same function: s moves to
+// heap (its address outlives the frame) and the stride-2 index defeats
+// bounds-check elimination.
+const dirtyHot = `package kernel
+
+//subsim:hotpath
+func sum(xs []int64) int64 {
+	s := new(int64)
+	sink = s
+	for i := 0; i < len(xs)/2; i++ {
+		*s += xs[i*2+1]
+	}
+	return *s
+}
+
+var sink *int64
+
+func Accumulate(xs []int64) int64 {
+	return sum(xs)
+}
+`
+
+func writeTempModule(t *testing.T, kernel string) string {
+	t.Helper()
+	dir := t.TempDir()
+	mustWrite(t, filepath.Join(dir, "go.mod"), "module tempmod\n\ngo 1.22\n")
+	mustWrite(t, filepath.Join(dir, "kernel", "kernel.go"), kernel)
+	return dir
+}
+
+func mustWrite(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func collect(t *testing.T, dir string) *Telemetry {
+	t.Helper()
+	tel, err := CollectCompilerTelemetry(CompilerConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	return tel
+}
+
+func TestCompilerTelemetryCleanHotpath(t *testing.T) {
+	dir := writeTempModule(t, cleanHot)
+	tel := collect(t, dir)
+
+	ft := tel.Funcs["kernel.sum"]
+	if ft == nil {
+		t.Fatalf("hotpath function kernel.sum missing from telemetry; have %v", keysOf(tel))
+	}
+	if !ft.Hotpath {
+		t.Errorf("kernel.sum not marked hotpath")
+	}
+	if len(ft.Escapes) != 0 || len(ft.Bounds) != 0 {
+		t.Errorf("clean hot path reports escapes=%v bounds=%v", ft.Escapes, ft.Bounds)
+	}
+
+	// Baseline round trip and a clean gate.
+	base := NewBaseline(tel)
+	if _, ok := base.Hotpath["kernel.sum"]; !ok {
+		t.Fatalf("baseline missing kernel.sum: %v", base.Hotpath)
+	}
+	path := filepath.Join(dir, "lint_baseline.json")
+	if err := WriteBaseline(path, base); err != nil {
+		t.Fatal(err)
+	}
+	read, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures, notes := Gate(tel, read)
+	if len(failures) != 0 {
+		t.Errorf("clean module fails its own baseline: %v", failures)
+	}
+	if len(notes) != 0 {
+		t.Errorf("clean module yields notes against its own baseline: %v", notes)
+	}
+}
+
+func TestGateCatchesInjectedRegressions(t *testing.T) {
+	dir := writeTempModule(t, cleanHot)
+	base := NewBaseline(collect(t, dir))
+
+	// Inject the heap escape and the un-eliminated bounds check.
+	mustWrite(t, filepath.Join(dir, "kernel", "kernel.go"), dirtyHot)
+	tel := collect(t, dir)
+	ft := tel.Funcs["kernel.sum"]
+	if ft == nil {
+		t.Fatalf("kernel.sum missing after injection; have %v", keysOf(tel))
+	}
+	if len(ft.Escapes) == 0 {
+		t.Errorf("injected heap escape not observed")
+	}
+	if len(ft.Bounds) == 0 {
+		t.Errorf("injected bounds check not observed")
+	}
+
+	failures, _ := Gate(tel, base)
+	if len(failures) == 0 {
+		t.Fatalf("gate passed a hotpath escape+bounds regression")
+	}
+	joined := strings.Join(failures, "\n")
+	if !strings.Contains(joined, "heap escape") || !strings.Contains(joined, "bounds check") {
+		t.Errorf("failures name neither regression:\n%s", joined)
+	}
+}
+
+// TestCompilerGateCLIExitsNonZero pins the acceptance criterion
+// end-to-end: the real subsimlint binary, run with -compiler against a
+// baseline recorded before an injected escape, exits non-zero.
+func TestCompilerGateCLIExitsNonZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI; skipped in -short")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "subsimlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/subsimlint")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building subsimlint: %v\n%s", err, out)
+	}
+
+	dir := writeTempModule(t, cleanHot)
+
+	// -baseline-write against the clean tree: exit 0.
+	write := exec.Command(bin, "-compiler", "-no-rebuild", "-baseline-write", "./...")
+	write.Dir = dir
+	if out, err := write.CombinedOutput(); err != nil {
+		t.Fatalf("baseline write failed: %v\n%s", err, out)
+	}
+
+	// Gate against the clean tree: still exit 0.
+	gate := exec.Command(bin, "-compiler", "-no-rebuild", "./...")
+	gate.Dir = dir
+	if out, err := gate.CombinedOutput(); err != nil {
+		t.Fatalf("gate on clean tree failed: %v\n%s", err, out)
+	}
+
+	// Inject the escape; the gate must exit non-zero and say why.
+	mustWrite(t, filepath.Join(dir, "kernel", "kernel.go"), dirtyHot)
+	gate = exec.Command(bin, "-compiler", "-no-rebuild", "./...")
+	gate.Dir = dir
+	out, err := gate.CombinedOutput()
+	if err == nil {
+		t.Fatalf("gate exited 0 on an injected hotpath escape:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit code 1, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "kernel.sum") {
+		t.Errorf("failure output does not attribute to kernel.sum:\n%s", out)
+	}
+}
+
+func TestParseDiagnostic(t *testing.T) {
+	cases := []struct {
+		in   string
+		file string
+		line int
+		msg  string
+		ok   bool
+	}{
+		{"internal/coverage/hll.go:101:12: make([]uint8, m) escapes to heap", "internal/coverage/hll.go", 101, "make([]uint8, m) escapes to heap", true},
+		{"internal/im/im.go:634:14: Found IsInBounds", "internal/im/im.go", 634, "Found IsInBounds", true},
+		{"# subsim/internal/coverage", "", 0, "", false},
+		{"/usr/local/go/src/sync/pool.go:10:2: moved to heap: x", "", 0, "", false},
+		{"not a diagnostic at all", "", 0, "", false},
+		{"kernel/kernel.go:bad:1: msg", "", 0, "", false},
+	}
+	for _, c := range cases {
+		file, line, msg, ok := parseDiagnostic(c.in)
+		if ok != c.ok || file != c.file || line != c.line || msg != c.msg {
+			t.Errorf("parseDiagnostic(%q) = (%q, %d, %q, %v), want (%q, %d, %q, %v)",
+				c.in, file, line, msg, ok, c.file, c.line, c.msg, c.ok)
+		}
+	}
+}
+
+func TestClassifyDiagnostic(t *testing.T) {
+	cases := []struct {
+		msg  string
+		kind diagKind
+	}{
+		{"make([]uint8, m) escapes to heap", diagEscape},
+		{"moved to heap: s", diagEscape},
+		{"func literal escapes to heap", diagEscape},
+		{"Found IsInBounds", diagBounds},
+		{"Found IsSliceInBounds", diagBounds},
+		{"can inline sum", diagOther},
+		{"inlining call to sum", diagOther},
+		{"leaking param: xs", diagOther},
+	}
+	for _, c := range cases {
+		if got := classifyDiagnostic(c.msg); got != c.kind {
+			t.Errorf("classifyDiagnostic(%q) = %v, want %v", c.msg, got, c.kind)
+		}
+	}
+}
+
+func keysOf(tel *Telemetry) []string {
+	var out []string
+	for k := range tel.Funcs {
+		out = append(out, k)
+	}
+	return out
+}

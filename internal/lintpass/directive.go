@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // The directive grammar. Two namespaces exist:
@@ -34,6 +35,18 @@ const (
 	// ClassAlloc suppresses hotpath-alloc findings for accepted
 	// allocations inside //subsim:hotpath functions.
 	ClassAlloc = "alloc"
+	// ClassAtomic suppresses atomicmix findings for accepted plain
+	// accesses to atomically-accessed fields (single-goroutine setup or
+	// teardown phases that the type system cannot see).
+	ClassAtomic = "atomic"
+	// ClassCapture suppresses gocapture findings for goroutine-body
+	// writes that are disjoint for reasons the index analysis cannot
+	// prove (e.g. observability-only buffers with external coordination).
+	ClassCapture = "capture"
+	// ClassLockCopy suppresses lockcopy findings for intentional copies
+	// of lock-carrying values (e.g. exporting a snapshot of a ring that
+	// is provably quiescent).
+	ClassLockCopy = "lockcopy"
 )
 
 // KnownClasses returns the suppression classes and the analyzers that
@@ -54,6 +67,9 @@ var knownClasses = map[string]string{
 	ClassFloatEq:  "floateq",
 	ClassErrCheck: "errcheck",
 	ClassAlloc:    "hotpath-alloc",
+	ClassAtomic:   "atomicmix",
+	ClassCapture:  "gocapture",
+	ClassLockCopy: "lockcopy",
 }
 
 // directive is one parsed //lint: or //subsim: comment.
@@ -61,6 +77,7 @@ type directive struct {
 	pos   token.Pos
 	file  string
 	line  int
+	cover int    // last line an allow directive suppresses (>= line)
 	space string // "lint" or "subsim"
 	verb  string // "allow", "hotpath", ...
 	class string // suppression class for lint:allow
@@ -70,20 +87,29 @@ type directive struct {
 // DirectiveSet holds every directive of one package plus the bookkeeping
 // the stale-suppression check needs: which classes the analyzers
 // actually evaluated for this package, and which directives fired.
+// suppress and markChecked are safe for concurrent use (the parallel
+// driver runs several analyzers of one package at once); the remaining
+// state is written at construction and read by the hygiene analyzer
+// after every other analyzer has joined.
 type DirectiveSet struct {
-	all     []*directive
-	allows  map[string][]*directive // file -> allow directives, any line
-	hotpath map[*ast.FuncDecl]*directive
-	checked map[string]bool // classes evaluated for this package
+	all      []*directive
+	allows   map[string][]*directive // file -> allow directives, any line
+	hotpath  map[*ast.FuncDecl]*directive
+	parallel map[*ast.FuncDecl]*directive
+	checked  map[string]bool // classes evaluated for this package
+
+	mu sync.Mutex // guards directive.used and checked during analysis
 }
 
-// newDirectiveSet parses the directives of the package files and
-// attaches //subsim:hotpath markers to their documented functions.
+// newDirectiveSet parses the directives of the package files, attaches
+// //subsim:hotpath and //subsim:parallel markers to their documented
+// functions, and computes each allow directive's coverage extent.
 func newDirectiveSet(fset *token.FileSet, files []*ast.File) *DirectiveSet {
 	ds := &DirectiveSet{
-		allows:  map[string][]*directive{},
-		hotpath: map[*ast.FuncDecl]*directive{},
-		checked: map[string]bool{},
+		allows:   map[string][]*directive{},
+		hotpath:  map[*ast.FuncDecl]*directive{},
+		parallel: map[*ast.FuncDecl]*directive{},
+		checked:  map[string]bool{},
 	}
 	byComment := map[*ast.Comment]*directive{}
 	for _, f := range files {
@@ -120,19 +146,28 @@ func newDirectiveSet(fset *token.FileSet, files []*ast.File) *DirectiveSet {
 				}
 			}
 		}
-		// Attach hotpath markers to the functions they document.
+		// Attach hotpath/parallel markers to the functions they document.
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Doc == nil {
 				continue
 			}
 			for _, c := range fn.Doc.List {
-				if d := byComment[c]; d != nil && d.space == "subsim" && d.verb == "hotpath" {
+				d := byComment[c]
+				if d == nil || d.space != "subsim" {
+					continue
+				}
+				switch d.verb {
+				case "hotpath":
 					d.used = true
 					ds.hotpath[fn] = d
+				case "parallel":
+					d.used = true
+					ds.parallel[fn] = d
 				}
 			}
 		}
+		coverExtents(fset, f, ds.allows)
 	}
 	sort.Slice(ds.all, func(i, j int) bool {
 		if ds.all[i].file != ds.all[j].file {
@@ -143,19 +178,75 @@ func newDirectiveSet(fset *token.FileSet, files []*ast.File) *DirectiveSet {
 	return ds
 }
 
+// coverExtents widens each allow directive's suppression window from
+// "this line or the next" to the full line extent of the statement it
+// annotates. Waivers are written against a logical statement, but gofmt
+// re-wraps long lines freely, so a diagnostic anchored on a continuation
+// line (an argument three lines into a wrapped call) must still match
+// the directive sitting on or above the statement's first line —
+// otherwise every re-format turns live waivers into spurious
+// stale-suppression errors. The extent is the smallest simple statement
+// (assignment, expression, return, go/defer, send, inc/dec, or var
+// declaration — never a block-carrying statement, whose body would
+// over-suppress) starting on the directive's own line (trailing comment)
+// or the line below it (leading comment).
+func coverExtents(fset *token.FileSet, f *ast.File, allows map[string][]*directive) {
+	// endByStart maps a statement's first line to the last line of the
+	// widest simple statement starting there (post-gofmt at most one
+	// statement starts per line, so "widest" only matters for
+	// hand-written one-liners).
+	endByStart := map[int]int{}
+	note := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end > endByStart[start] {
+			endByStart[start] = end
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.GoStmt,
+			*ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.DeclStmt,
+			*ast.ValueSpec, *ast.Field:
+			note(n)
+		}
+		return true
+	})
+	for _, ds := range allows {
+		for _, d := range ds {
+			d.cover = d.line + 1
+			if end := endByStart[d.line]; end > d.cover {
+				d.cover = end
+			}
+			if end := endByStart[d.line+1]; end > d.cover {
+				d.cover = end
+			}
+		}
+	}
+}
+
 // markChecked records that the analyzer owning class evaluated this
 // package, making unused `allow class` directives stale errors.
-func (ds *DirectiveSet) markChecked(class string) { ds.checked[class] = true }
+func (ds *DirectiveSet) markChecked(class string) {
+	ds.mu.Lock()
+	ds.checked[class] = true
+	ds.mu.Unlock()
+}
 
 // suppress reports whether an allow directive for class covers the given
-// position (same line, or the immediately preceding line), marking the
-// directive used.
+// position — same line, the immediately following line, or any
+// continuation line of the annotated statement (see coverExtents) —
+// marking the directive used. Matching is by line only, never column:
+// re-indenting or re-wrapping an annotated statement cannot stale a
+// waiver.
 func (ds *DirectiveSet) suppress(class string, pos token.Position) bool {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	for _, d := range ds.allows[pos.Filename] {
 		if d.class != class {
 			continue
 		}
-		if d.line == pos.Line || d.line == pos.Line-1 {
+		if pos.Line >= d.line && pos.Line <= d.cover {
 			d.used = true
 			return true
 		}
@@ -166,6 +257,14 @@ func (ds *DirectiveSet) suppress(class string, pos token.Position) bool {
 // IsHotPath reports whether fn carries a //subsim:hotpath marker.
 func (ds *DirectiveSet) IsHotPath(fn *ast.FuncDecl) bool {
 	_, ok := ds.hotpath[fn]
+	return ok
+}
+
+// IsParallel reports whether fn carries a //subsim:parallel marker (the
+// function fans work out over goroutines under the disjoint-write
+// contract; see the gocapture analyzer).
+func (ds *DirectiveSet) IsParallel(fn *ast.FuncDecl) bool {
+	_, ok := ds.parallel[fn]
 	return ok
 }
 
@@ -193,16 +292,16 @@ func runDirectives(pass *Pass) {
 				continue
 			}
 			if !d.used && pass.Directives.checked[d.class] {
-				pass.Reportf(d.pos, "stale suppression: no %s diagnostic of class %q on this or the next line", owner, d.class)
+				pass.Reportf(d.pos, "stale suppression: no %s diagnostic of class %q within the annotated statement", owner, d.class)
 			}
 		case d.space == "lint":
 			pass.Reportf(d.pos, "unknown directive //lint:%s (only //lint:allow is defined)", d.verb)
-		case d.space == "subsim" && d.verb == "hotpath":
+		case d.space == "subsim" && (d.verb == "hotpath" || d.verb == "parallel"):
 			if !d.used {
-				pass.Reportf(d.pos, "//subsim:hotpath must appear in the doc comment of a function declaration")
+				pass.Reportf(d.pos, "//subsim:%s must appear in the doc comment of a function declaration", d.verb)
 			}
 		case d.space == "subsim":
-			pass.Reportf(d.pos, "unknown directive //subsim:%s (only //subsim:hotpath is defined)", d.verb)
+			pass.Reportf(d.pos, "unknown directive //subsim:%s (known: hotpath, parallel)", d.verb)
 		}
 	}
 }

@@ -1,6 +1,6 @@
 // Package lintpass is the repository's project-invariant static-analysis
 // driver: a small, stdlib-only analyzer framework (go/ast + go/types, no
-// golang.org/x/tools dependency) plus the six project-specific analyzers
+// golang.org/x/tools dependency) plus the nine project-specific analyzers
 // that machine-enforce the conventions the test suite certifies but
 // nothing previously checked at the source level:
 //
@@ -17,12 +17,21 @@
 //   - floateq: no ==/!= on floating-point values in the concentration
 //     bound and sampling arithmetic.
 //   - errcheck: no silently dropped errors in non-test code.
+//   - atomicmix: a struct field accessed through sync/atomic anywhere in
+//     its package must never be plainly read or written outside its
+//     constructor (the seqlock and COW-span memory-ordering contracts).
+//   - gocapture: goroutines spawned inside //subsim:parallel functions
+//     must write captured slices only at parameter-derived indices, never
+//     write captured maps, and never call WaitGroup.Add from inside the
+//     goroutine (the disjoint-write decomposition contract).
+//   - lockcopy: no by-value copies of types carrying sync.Mutex,
+//     sync/atomic state, or timeline.Ring seqlocks.
 //   - directives: every //lint: and //subsim: directive must be known,
 //     well-formed, and actually used — stale suppressions are errors.
 //
 // Suppressions are line-scoped: `//lint:allow <class> [reason]` on the
-// offending line or the line above it. See DESIGN.md, "Enforced
-// invariants".
+// offending line, the line above it, or a continuation line of the same
+// statement. See DESIGN.md, "Enforced invariants".
 package lintpass
 
 import (
@@ -31,6 +40,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one analyzer finding, positioned in the file set the
@@ -112,14 +122,28 @@ func All() []*Analyzer {
 		NilTracer,
 		FloatEq,
 		ErrCheck,
+		AtomicMix,
+		GoCapture,
+		LockCopy,
 		Directives,
 	}
 }
 
 // Run executes the analyzers over the loaded packages and returns the
-// combined findings sorted by position. The directives analyzer, when
-// present, is always moved to the end of the per-package run so it can
-// see which suppressions were consumed.
+// combined findings sorted by position.
+//
+// Execution is parallel on two axes — across packages, and across
+// analyzers within each package — because the packages are already
+// loaded and type-checked (the expensive, serial part) and the
+// analyzers only read the shared ASTs and types.Info. The per-package
+// DirectiveSet is the one piece of mutable shared state (suppression
+// bookkeeping); it locks internally. The directives analyzer, when
+// present, still runs strictly after every other analyzer of its
+// package has joined, so stale-suppression detection sees the complete
+// set of consumed waivers; diagnostics are merged and sorted at the
+// end, so output order is independent of scheduling.
+//
+//subsim:parallel
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	ordered := make([]*Analyzer, 0, len(analyzers))
 	var hygiene *Analyzer
@@ -130,27 +154,21 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		ordered = append(ordered, a)
 	}
-	if hygiene != nil {
-		ordered = append(ordered, hygiene)
+
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var pkgWG sync.WaitGroup
+	for i, pkg := range pkgs {
+		pkgWG.Add(1)
+		go func(i int, pkg *Package) {
+			defer pkgWG.Done()
+			perPkg[i] = runPackage(pkg, ordered, hygiene)
+		}(i, pkg)
 	}
+	pkgWG.Wait()
 
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		ds := newDirectiveSet(pkg.Fset, pkg.Files)
-		for _, a := range ordered {
-			pass := &Pass{
-				Analyzer:   a,
-				Fset:       pkg.Fset,
-				Files:      pkg.Files,
-				Pkg:        pkg.Types,
-				Info:       pkg.Info,
-				Dir:        pkg.Dir,
-				Path:       pkg.Path,
-				Directives: ds,
-				sink:       &out,
-			}
-			a.Run(pass)
-		}
+	for _, ds := range perPkg {
+		out = append(out, ds...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -165,5 +183,45 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+	return out
+}
+
+// runPackage fans the non-hygiene analyzers of one package out across
+// goroutines (each with a private sink), joins, then runs the hygiene
+// analyzer so it observes every consumed directive.
+//
+//subsim:parallel
+func runPackage(pkg *Package, ordered []*Analyzer, hygiene *Analyzer) []Diagnostic {
+	ds := newDirectiveSet(pkg.Fset, pkg.Files)
+	newPass := func(a *Analyzer, sink *[]Diagnostic) *Pass {
+		return &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			Dir:        pkg.Dir,
+			Path:       pkg.Path,
+			Directives: ds,
+			sink:       sink,
+		}
+	}
+	sinks := make([][]Diagnostic, len(ordered)+1)
+	var wg sync.WaitGroup
+	for j, a := range ordered {
+		wg.Add(1)
+		go func(j int, a *Analyzer) {
+			defer wg.Done()
+			a.Run(newPass(a, &sinks[j]))
+		}(j, a)
+	}
+	wg.Wait()
+	if hygiene != nil {
+		hygiene.Run(newPass(hygiene, &sinks[len(ordered)]))
+	}
+	var out []Diagnostic
+	for _, s := range sinks {
+		out = append(out, s...)
+	}
 	return out
 }

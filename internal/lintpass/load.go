@@ -3,6 +3,7 @@ package lintpass
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -80,7 +81,11 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 				return nil
 			}
 			name := d.Name()
-			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				// vendor matches the go tool: vendored dependencies are
+				// not lint targets (they are still resolvable as imports
+				// of the packages that are).
 				return filepath.SkipDir
 			}
 			dirs[path] = true
@@ -111,7 +116,13 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 }
 
 // LoadDir parses and type-checks the single package in dir, returning
-// nil (no error) when the directory holds no non-test Go files.
+// nil (no error) when the directory holds no non-test Go files for the
+// current build configuration. File selection mirrors the go tool:
+// *_test.go is excluded, and //go:build constraints plus _GOOS/_GOARCH
+// filename suffixes are honoured through go/build's MatchFile, so a
+// file constrained out of the build (a stub for another platform, an
+// experiment behind a tag) can neither fail the type-check nor sneak
+// diagnostics in.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
@@ -121,11 +132,17 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	bctx := build.Default
 	var files []*ast.File
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
+		}
+		if match, err := bctx.MatchFile(abs, name); err != nil {
+			return nil, fmt.Errorf("%s: %w", filepath.Join(abs, name), err)
+		} else if !match {
+			continue // excluded by build constraints for this GOOS/GOARCH/tag set
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
 		if err != nil {

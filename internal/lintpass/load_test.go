@@ -1,0 +1,120 @@
+package lintpass
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The loader edge-case tests build throwaway modules under t.TempDir.
+// Each poisoned file (build-tagged out, _test.go, vendored) contains a
+// deliberate type error, so inclusion is observable as a type-check
+// failure rather than inferrable from file counts alone.
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		mustWrite(t, filepath.Join(dir, filepath.FromSlash(name)), content)
+	}
+	return dir
+}
+
+func TestLoadSkipsBuildTaggedFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":      "module tagged\n\ngo 1.22\n",
+		"pkg/good.go": "package pkg\n\nfunc A() int { return 1 }\n",
+		"pkg/experimental.go": "//go:build neverenabled\n\npackage pkg\n\n" +
+			"var B = undefinedSymbol // would fail the type-check if included\n",
+		"pkg/stub_plan9.go": "package pkg\n\nvar C = alsoUndefined // other-GOOS stub\n",
+	})
+	pkgs, err := NewLoader().Load(dir + "/...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	if n := len(pkgs[0].Files); n != 1 {
+		t.Errorf("want only good.go selected, got %d files", n)
+	}
+}
+
+func TestLoadExcludesTestFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":      "module tested\n\ngo 1.22\n",
+		"pkg/code.go": "package pkg\n\nfunc A() int { return 1 }\n",
+		"pkg/code_test.go": "package pkg\n\n" +
+			"var broken = undefinedInTest // type error proves exclusion\n",
+	})
+	pkgs, err := NewLoader().Load(dir + "/...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("want 1 package with 1 file, got %+v", pkgs)
+	}
+}
+
+func TestLoadResolvesVendoredDep(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module vendored\n\ngo 1.22\n\nrequire example.com/dep v1.0.0\n",
+		"vendor/modules.txt": "# example.com/dep v1.0.0\n" +
+			"## explicit; go 1.22\n" +
+			"example.com/dep\n",
+		"vendor/example.com/dep/dep.go": "package dep\n\nfunc Answer() int { return 42 }\n",
+		"pkg/use.go": "package pkg\n\nimport \"example.com/dep\"\n\n" +
+			"var X = dep.Answer()\n",
+	})
+	// The source importer resolves non-stdlib imports against the
+	// working directory's module context (go/build shells out to `go
+	// list` with no Dir override), exactly like the production CLI,
+	// which runs from the module root.
+	t.Chdir(dir)
+	pkgs, err := NewLoader().Load(dir + "/...")
+	if err != nil {
+		t.Fatalf("load with vendored dep: %v", err)
+	}
+	// The vendored dependency resolves as an import but is not itself a
+	// lint target.
+	if len(pkgs) != 1 {
+		names := make([]string, len(pkgs))
+		for i, p := range pkgs {
+			names[i] = p.Path
+		}
+		t.Fatalf("want only pkg as a target, got %v", names)
+	}
+	if !strings.HasSuffix(pkgs[0].Path, "/pkg") {
+		t.Errorf("unexpected package path %q", pkgs[0].Path)
+	}
+}
+
+func TestLoadReportsTypecheckFailure(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":        "module broken\n\ngo 1.22\n",
+		"pkg/broken.go": "package pkg\n\nvar X = undefinedEverywhere\n",
+	})
+	_, err := NewLoader().Load(dir + "/...")
+	if err == nil {
+		t.Fatal("want a type-check error, got nil")
+	}
+	if !strings.Contains(err.Error(), "type-check failed") {
+		t.Errorf("error does not identify the type-check phase: %v", err)
+	}
+}
+
+func TestLoadEmptyAndMixedDirs(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":              "module mixed\n\ngo 1.22\n",
+		"docs/README":         "no Go files here\n",
+		"onlytests/x_test.go": "package onlytests\n",
+		"pkg/code.go":         "package pkg\n\nfunc A() {}\n",
+	})
+	pkgs, err := NewLoader().Load(dir + "/...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package (docs/ and onlytests/ skipped), got %d", len(pkgs))
+	}
+}

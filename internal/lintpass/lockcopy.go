@@ -1,0 +1,222 @@
+package lintpass
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCopy flags by-value copies of types carrying synchronisation
+// state: sync.Mutex/RWMutex/WaitGroup/Once/Cond/Map/Pool, every
+// sync/atomic type, and the project's own seqlock-bearing types
+// (timeline.Ring and its slots). A copied mutex is a fresh unlocked
+// mutex, a copied atomic loses its happens-before edges, and a copied
+// Ring forks the seqlock generation counter — all three turn a
+// documented concurrency contract into silent corruption. go vet's
+// copylocks covers the sync types; this analyzer keeps the check inside
+// the project gate, extends it to the timeline types (whose seqlock
+// fields, not a Lock method, make them copy-hostile), and adds the
+// map/slice-range forms our code actually writes.
+//
+// Flagged: assignments and declarations copying such a value, range
+// statements whose value variable copies one per iteration, by-value
+// parameters/results/receivers in function signatures, and call
+// arguments passing one by value. Taking addresses, pointer fields, and
+// composite-literal construction are fine. Intentional copies of
+// provably quiescent values are waived with //lint:allow lockcopy.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "flag by-value copies (assign, range, params, call args) of types carrying sync.Mutex, sync/atomic state, or timeline.Ring seqlocks",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(pass *Pass) {
+	pass.Directives.markChecked(ClassLockCopy)
+	seen := map[types.Type]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, seen, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkSignature(pass, seen, nil, n.Type)
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE || n.Tok == token.ASSIGN {
+					for _, rhs := range n.Rhs {
+						checkValueCopy(pass, seen, rhs, "assignment")
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						checkValueCopy(pass, seen, v, "declaration")
+					}
+				}
+			case *ast.RangeStmt:
+				checkRangeCopy(pass, seen, n)
+			case *ast.CallExpr:
+				checkCallArgs(pass, seen, n)
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkValueCopy(pass, seen, r, "return")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSignature flags by-value lock carriers in a receiver, parameter
+// or result list.
+func checkSignature(pass *Pass, seen map[types.Type]string, recv *ast.FieldList, ftype *ast.FuncType) {
+	lists := []*ast.FieldList{recv, ftype.Params, ftype.Results}
+	for _, list := range lists {
+		if list == nil {
+			continue
+		}
+		for _, field := range list.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if carrier := lockCarrier(seen, tv.Type); carrier != "" {
+				pass.Report(field.Type.Pos(), ClassLockCopy,
+					"by-value %s copies lock state (%s); pass a pointer", describeType(tv.Type), carrier)
+			}
+		}
+	}
+}
+
+// checkValueCopy flags an expression that copies an existing
+// lock-carrying value: a variable, field, element, or dereference.
+// Composite literals and call results are births, not copies.
+func checkValueCopy(pass *Pass, seen map[types.Type]string, expr ast.Expr, context string) {
+	expr = ast.Unparen(expr)
+	if !isExistingValue(expr) {
+		return
+	}
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if carrier := lockCarrier(seen, tv.Type); carrier != "" {
+		pass.Report(expr.Pos(), ClassLockCopy,
+			"%s copies %s by value; it carries lock state (%s) — copy a pointer instead", context, describeType(tv.Type), carrier)
+	}
+}
+
+// checkRangeCopy flags range statements whose per-iteration value
+// variable copies a lock carrier out of the ranged container.
+func checkRangeCopy(pass *Pass, seen map[types.Type]string, n *ast.RangeStmt) {
+	if n.Value == nil {
+		return
+	}
+	var vt types.Type
+	if tv, ok := pass.Info.Types[n.Value]; ok && tv.Type != nil {
+		vt = tv.Type
+	} else if id, isIdent := n.Value.(*ast.Ident); isIdent {
+		// In `for k, v := range m` the value is a defined ident; its
+		// type lives in Defs.
+		if v, okDef := pass.Info.Defs[id].(*types.Var); okDef {
+			vt = v.Type()
+		}
+	}
+	if vt == nil {
+		return
+	}
+	if carrier := lockCarrier(seen, vt); carrier != "" {
+		pass.Report(n.Value.Pos(), ClassLockCopy,
+			"range copies %s by value each iteration; it carries lock state (%s) — range by index or over pointers", describeType(vt), carrier)
+	}
+}
+
+// checkCallArgs flags existing lock-carrying values passed by value to
+// a call (conversions and builtins excluded).
+func checkCallArgs(pass *Pass, seen map[types.Type]string, call *ast.CallExpr) {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	for _, arg := range call.Args {
+		checkValueCopy(pass, seen, arg, "call")
+	}
+}
+
+// isExistingValue reports whether expr denotes a value that already
+// lives somewhere (so evaluating it copies), as opposed to a literal,
+// conversion, or call result born at this expression.
+func isExistingValue(expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return isExistingValue(e.X)
+	default:
+		return false
+	}
+}
+
+// lockCarrier reports why t carries lock state ("" when it does not):
+// the name of the first sync/atomic/seqlock component found. Results
+// are memoised per run; pointer/slice/map/chan indirection stops the
+// search (sharing a pointer is the correct pattern).
+func lockCarrier(seen map[types.Type]string, t types.Type) string {
+	if why, ok := seen[t]; ok {
+		return why
+	}
+	seen[t] = "" // breaks recursive type cycles
+	why := findLockCarrier(seen, t)
+	seen[t] = why
+	return why
+}
+
+func findLockCarrier(seen map[types.Type]string, t types.Type) string {
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				return "atomic." + obj.Name()
+			}
+			if pathHasSuffixDir(obj.Pkg().Path(), "internal/obs/timeline") &&
+				(obj.Name() == "Ring" || obj.Name() == "slot") {
+				return "timeline." + obj.Name()
+			}
+		}
+		return lockCarrier(seen, u.Underlying())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if why := lockCarrier(seen, u.Field(i).Type()); why != "" {
+				return why
+			}
+		}
+	case *types.Array:
+		return lockCarrier(seen, u.Elem())
+	}
+	return ""
+}
+
+// describeType renders t compactly for diagnostics (unqualified name
+// for named types, full syntax otherwise).
+func describeType(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

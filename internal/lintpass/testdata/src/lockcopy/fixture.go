@@ -1,0 +1,101 @@
+// Package lockcopy is the golden fixture for the lock-copy analyzer:
+// by-value copies of types carrying sync.Mutex, sync/atomic state, or
+// timeline.Ring seqlocks — in signatures, assignments, ranges, returns,
+// and call arguments — are flagged; pointer indirection, composite
+// literals, and waived quiescent snapshots are not.
+package lockcopy
+
+import (
+	"sync"
+
+	"subsim/internal/lintpass/testdata/src/lockcopy/internal/obs/timeline"
+)
+
+// counters carries a mutex through a struct field.
+type counters struct {
+	mu sync.Mutex
+	n  map[string]int64
+}
+
+// newCounters builds a value with a composite literal: a birth, not a
+// copy. No finding.
+func newCounters() *counters {
+	c := counters{n: map[string]int64{}}
+	return &c
+}
+
+// byValue receives counters by value: every call gets a fresh unlocked
+// mutex.
+func byValue(c counters) int64 { // want `by-value counters copies lock state \(sync.Mutex\)`
+	return c.n["x"]
+}
+
+// byPointer is the correct form. No finding.
+func byPointer(c *counters) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n["x"]
+}
+
+// snapshot copies the struct out of the pointer: flagged.
+func snapshot(c *counters) map[string]int64 {
+	dup := *c // want `assignment copies counters by value`
+	return dup.n
+}
+
+// each ranges a slice of counters by value: one fresh mutex per
+// iteration. Indirection in the slice itself is fine (the slice header
+// carries no lock), only the per-iteration copy is flagged.
+func each(cs []counters) int {
+	total := 0
+	for _, c := range cs { // want `range copies counters by value each iteration`
+		total += len(c.n)
+	}
+	return total
+}
+
+// eachIndex is the correct form. No finding.
+func eachIndex(cs []counters) int {
+	total := 0
+	for i := range cs {
+		total += len(cs[i].n)
+	}
+	return total
+}
+
+// leak copies on the way out twice: the by-value result type and the
+// dereferencing return expression.
+func leak(c *counters) counters { // want `by-value counters copies lock state`
+	return *c // want `return copies counters by value`
+}
+
+// callSite passes the dereferenced struct to a call: flagged at the
+// argument.
+func callSite(c *counters) int64 {
+	return byValue(*c) // want `call copies counters by value`
+}
+
+// wait takes a WaitGroup by value: the classic vet copylocks case, kept
+// inside the project gate.
+func wait(wg sync.WaitGroup) { // want `by-value WaitGroup copies lock state \(sync.WaitGroup\)`
+	wg.Wait()
+}
+
+// copyRing copies the seqlock ring, forking its generation counter —
+// flagged via the named-type rule even though every field is plain.
+func copyRing(r *timeline.Ring) timeline.Ring { // want `by-value Ring copies lock state \(timeline.Ring\)`
+	return *r // want `return copies Ring by value`
+}
+
+// shareRing passes the ring by pointer. No finding.
+func shareRing(r *timeline.Ring) *timeline.Ring {
+	return r
+}
+
+// export takes a deliberate snapshot of a provably quiescent value; the
+// waiver records why the copy is safe.
+func export(c *counters) map[string]int64 {
+	//lint:allow lockcopy quiescent snapshot taken after the final Wait
+	dup := *c
+	return dup.n
+}

@@ -1,0 +1,12 @@
+// Package timeline is the lockcopy fixture stand-in for the seqlock
+// ring: the directory suffix internal/obs/timeline makes Ring a lock
+// carrier by name alone — its fields are deliberately plain so the
+// fixture pins the named-type rule, not the field recursion.
+package timeline
+
+// Ring is the seqlock ring stand-in: the odd/even generation protocol
+// lives in the name, not in any sync/atomic field type.
+type Ring struct {
+	seq  uint64
+	slot [4]int64
+}

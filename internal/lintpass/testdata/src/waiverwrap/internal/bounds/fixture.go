@@ -1,0 +1,45 @@
+// Package bounds is the regression fixture for wrap-tolerant waiver
+// windows: a //lint:allow directive covers the full line extent of the
+// simple statement it annotates, so gofmt re-wrapping a long statement
+// cannot orphan diagnostics onto continuation lines the waiver no
+// longer reaches. The window never extends into block-carrying
+// statements, and widening it must not mask genuinely stale waivers.
+// The directory suffix internal/bounds puts the package in floateq's
+// scope.
+package bounds
+
+// sentinelBoth holds one waiver above a wrapped condition: the
+// comparison gofmt pushed onto the continuation line is still covered.
+func sentinelBoth(a, b, c, d float64) bool {
+	//lint:allow floateq sentinel comparisons, statement wrapped by gofmt
+	ok := a == b &&
+		c == d
+	return ok
+}
+
+// trailing holds the waiver as a trailing comment on the statement's
+// first line; the continuation-line comparison is still covered.
+func trailing(a, b, c, d float64) bool {
+	ok := a == b && //lint:allow floateq trailing waiver covers the wrap
+		c == d
+	return ok
+}
+
+// blockScoped shows the window never follows a block-carrying
+// statement into its body: the condition is covered, the body is not.
+func blockScoped(a, b, c, d float64) bool {
+	//lint:allow floateq covers the if condition only
+	if a == b {
+		return c == d // want `floating-point == comparison`
+	}
+	return false
+}
+
+// staleWrapped shows widening cannot mask staleness: the annotated
+// wrapped statement contains no float comparison at all.
+func staleWrapped(a, b int) int {
+	//lint:allow floateq (stale: integer arithmetic only) // want `stale suppression: no floateq diagnostic of class "floateq"`
+	sum := a +
+		b
+	return sum
+}
