@@ -45,8 +45,11 @@ fuzz-smoke:
 	$(GO) test ./internal/sampling -run '^$$' -fuzz '^FuzzBucketedSampler$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/coverage -run '^$$' -fuzz '^FuzzHLLMerge$$' -fuzztime $(FUZZTIME)
 
+# Text dumps from test/bench targets land under bin/ (gitignored as a
+# whole), so scratch artifacts can never reappear at the repo root.
 test:
-	$(GO) test ./... 2>&1 | tee test_output.txt
+	@mkdir -p bin
+	$(GO) test ./... 2>&1 | tee bin/test_output.txt
 
 # Allocation-regression gate: the generate→store→index pipeline must
 # stay allocation-free per RR set in steady state (see BENCH_rrset.json),
@@ -79,15 +82,16 @@ scale-smoke:
 	$(GO) build -o bin/scalematrix ./cmd/scalematrix
 	$(GO) build -o bin/obsdiff ./cmd/obsdiff
 	bin/scalematrix -graphs pa:3000x4 -gens subsim -workers 1,2 -trials 1 \
-		-sets 3000 -rounds 2 -k 10 -report scalematrix_smoke_report.json
-	bin/obsdiff scalematrix_smoke_report.json scalematrix_smoke_report.json
-	rm -f scalematrix_smoke_report.json
+		-sets 3000 -rounds 2 -k 10 -report bin/scalematrix_smoke_report.json
+	bin/obsdiff bin/scalematrix_smoke_report.json bin/scalematrix_smoke_report.json
+	rm -f bin/scalematrix_smoke_report.json
 
 cover:
 	$(GO) test -cover ./internal/...
 
 bench:
-	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+	@mkdir -p bin
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bin/bench_output.txt
 
 # RR-pipeline benchmark suite (generate, index, select, end-to-end).
 BENCH_RR = BenchmarkFillIndex|BenchmarkGenerateSingle|BenchmarkSelectSeeds|BenchmarkOPIMC_E2E
@@ -96,8 +100,9 @@ BENCH_RR = BenchmarkFillIndex|BenchmarkGenerateSingle|BenchmarkSelectSeeds|Bench
 # (default "current"); committed baselines are "pre-arena" / "arena-csr".
 LABEL ?= current
 bench-json:
-	$(GO) test ./internal/im -run '^$$' -bench '$(BENCH_RR)' -benchmem 2>&1 | tee bench_rrset.txt
-	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label $(LABEL) bench_rrset.txt
+	@mkdir -p bin
+	$(GO) test ./internal/im -run '^$$' -bench '$(BENCH_RR)' -benchmem 2>&1 | tee bin/bench_rrset.txt
+	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label $(LABEL) bin/bench_rrset.txt
 
 # Compare two recorded baselines (override OLD/NEW to pick other labels,
 # e.g. `make bench-json LABEL=current && make benchcmp NEW=current`).
@@ -120,12 +125,13 @@ benchcheck:
 # those are machine-independent, while the W4/W8-vs-W1 ratios depend on
 # the recording host's core count (on a single core they measure pure
 # partitioning overhead and stay informational).
-BENCH_SCALE_IM = BenchmarkSplice_|$(BENCH_RR)
+BENCH_SCALE_IM = BenchmarkSplice_|BenchmarkFillSharded_|BenchmarkShardedSelectSeeds_|$(BENCH_RR)
 BENCH_SCALE_COV = BenchmarkIndexBuild_|BenchmarkSelectGains_
 bench-scale:
-	$(GO) test ./internal/im -run '^$$' -bench '$(BENCH_SCALE_IM)' -benchmem 2>&1 | tee bench_scale.txt
-	$(GO) test ./internal/coverage -run '^$$' -bench '$(BENCH_SCALE_COV)' -benchmem 2>&1 | tee -a bench_scale.txt
-	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label parallel-cover bench_scale.txt
+	@mkdir -p bin
+	$(GO) test ./internal/im -run '^$$' -bench '$(BENCH_SCALE_IM)' -benchmem 2>&1 | tee bin/bench_scale.txt
+	$(GO) test ./internal/coverage -run '^$$' -bench '$(BENCH_SCALE_COV)' -benchmem 2>&1 | tee -a bin/bench_scale.txt
+	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label parallel-cover bin/bench_scale.txt
 	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -check arena-csr,parallel-cover -filter '_W1$$'
 
 # Coverage-estimator memory/time crossover: the fill→select path through
@@ -135,8 +141,9 @@ bench-scale:
 # m bytes/node while the exact index grows with θ. The gate re-checks
 # ns/op of the recorded pair so a sketch slowdown can't creep in.
 bench-sketch:
-	$(GO) test ./internal/im -run '^$$' -bench 'BenchmarkSketchCover' -benchmem 2>&1 | tee bench_sketch.txt
-	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label sketch-cover bench_sketch.txt
+	@mkdir -p bin
+	$(GO) test ./internal/im -run '^$$' -bench 'BenchmarkSketchCover' -benchmem 2>&1 | tee bin/bench_sketch.txt
+	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label sketch-cover bin/bench_sketch.txt
 	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -check sketch-cover,sketch-cover
 
 # Workers×graph scaling matrix: sweep the full pipeline (generate,
@@ -153,7 +160,7 @@ bench-matrix:
 	$(GO) build -o bin/scalematrix ./cmd/scalematrix
 	bin/scalematrix -graphs $(MATRIX_GRAPHS) -gens $(MATRIX_GENS) \
 		-workers $(MATRIX_WORKERS) -trials 3 \
-		-json scalematrix_result.json \
+		-json bin/scalematrix_result.json \
 		-bench-file BENCH_rrset.json -bench-label scale-matrix
 
 # Observability overhead: bare vs nil-wrapped vs metrics-on vs
@@ -161,8 +168,9 @@ bench-matrix:
 # BENCH_rrset.json under the "obs-live" label (committed baseline:
 # "obs-live").
 benchobs:
-	$(GO) test ./internal/rrset -run '^$$' -bench InstrumentedGenerate -benchmem -count 3 2>&1 | tee bench_obs.txt
-	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label obs-live bench_obs.txt
+	@mkdir -p bin
+	$(GO) test ./internal/rrset -run '^$$' -bench InstrumentedGenerate -benchmem -count 3 2>&1 | tee bin/bench_obs.txt
+	$(GO) run ./cmd/benchjson -file BENCH_rrset.json -label obs-live bin/bench_obs.txt
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -180,6 +188,5 @@ quick:
 	$(GO) run ./cmd/imbench -quick
 
 clean:
-	rm -f test_output.txt bench_output.txt bench_rrset.txt bench_scale.txt bench_sketch.txt bench_obs.txt imbench graph.bin
-	rm -f scalematrix_result.json scalematrix_smoke_report.json
+	rm -f imbench graph.bin
 	rm -rf bin

@@ -16,7 +16,9 @@
 //	             weights
 //	-gens        comma-separated generators: subsim, vanilla, bucketed
 //	-estimators  comma-separated coverage estimator backends: exact (CSR
-//	             inverted index), hll (register-array sketch)
+//	             inverted index), hll (register-array sketch), sharded
+//	             (shard-parallel exact engine: zero-splice fill, every
+//	             CELF round fanned out; byte-identical results to exact)
 //	-workers     comma-separated worker counts (must include 1, the
 //	             speedup baseline)
 //	-trials      trials per cell; the median of each phase wins
@@ -33,6 +35,10 @@
 //	-bench-label label for the -bench-file run (default scale-matrix)
 //	-report      write a schema-versioned obs run report (one span per
 //	             cell) to this file, obsdiff-compatible
+//	-trace       write the last cell's execution timeline (its final
+//	             trial, the highest worker count of the sweep) as a
+//	             Chrome trace-event JSON loadable in Perfetto — the CI
+//	             artifact that shows the fanned-out CELF rounds
 //
 // Every cell runs with a fresh tracer + execution timeline
 // (internal/obs/timeline), so the per-phase wall times are backed by the
@@ -193,7 +199,7 @@ func main() {
 	var (
 		graphsFlag  = flag.String("graphs", "pa:20000x8", "comma-separated graph specs type:NxD (pa, er)")
 		gensFlag    = flag.String("gens", "subsim", "comma-separated generators: subsim, vanilla, bucketed")
-		estFlag     = flag.String("estimators", "exact", "comma-separated coverage estimator backends: exact, hll")
+		estFlag     = flag.String("estimators", "exact", "comma-separated coverage estimator backends: exact, hll, sharded")
 		workersFlag = flag.String("workers", "1,2,4,8", "comma-separated worker counts (must include 1)")
 		trials      = flag.Int("trials", 3, "trials per cell (median wins)")
 		sets        = flag.Int("sets", 20000, "RR sets generated per trial")
@@ -204,17 +210,18 @@ func main() {
 		benchFile   = flag.String("bench-file", "", "record bench-style rows into this benchjson file")
 		benchLabel  = flag.String("bench-label", "scale-matrix", "label for the -bench-file run")
 		reportPath  = flag.String("report", "", "write an obs run report (one span per cell) to this file")
+		tracePath   = flag.String("trace", "", "write the last cell's timeline as Chrome trace-event JSON (Perfetto)")
 	)
 	flag.Parse()
 	if err := run(*graphsFlag, *gensFlag, *estFlag, *workersFlag, *trials, *sets, *rounds, *k, *seed,
-		*jsonPath, *benchFile, *benchLabel, *reportPath); err != nil {
+		*jsonPath, *benchFile, *benchLabel, *reportPath, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "scalematrix:", err)
 		os.Exit(1)
 	}
 }
 
 func run(graphsFlag, gensFlag, estFlag, workersFlag string, trials, sets, rounds, k int, seed uint64,
-	jsonPath, benchFile, benchLabel, reportPath string) error {
+	jsonPath, benchFile, benchLabel, reportPath, tracePath string) error {
 	var specs []graphSpec
 	for _, s := range strings.Split(graphsFlag, ",") {
 		spec, err := parseGraphSpec(strings.TrimSpace(s))
@@ -284,6 +291,7 @@ func run(graphsFlag, gensFlag, estFlag, workersFlag string, trials, sets, rounds
 		Trials:        trials,
 	}
 
+	var traceSnap timeline.Snapshot
 	for _, spec := range specs {
 		g, err := buildGraph(spec, seed)
 		if err != nil {
@@ -294,10 +302,11 @@ func run(graphsFlag, gensFlag, estFlag, workersFlag string, trials, sets, rounds
 				var baseline *cell
 				for _, w := range workerSweep {
 					span := matrixTr.Span(fmt.Sprintf("cell-%s-%s-%s-W%d", spec, genName, estKind, w))
-					c, err := runCell(g, spec, genName, estKind, w, trials, sets, rounds, k, seed)
+					c, snap, err := runCell(g, spec, genName, estKind, w, trials, sets, rounds, k, seed)
 					if err != nil {
 						return err
 					}
+					traceSnap = snap
 					span.SetInt("workers", int64(w)).SetInt("total_ns", c.PhaseNS["total"])
 					span.End()
 					if w == 1 {
@@ -344,15 +353,30 @@ func run(graphsFlag, gensFlag, estFlag, workersFlag string, trials, sets, rounds
 		}
 		fmt.Fprintf(os.Stderr, "scalematrix: wrote report %s\n", reportPath)
 	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := timeline.WriteTrace(f, traceSnap, nil); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "scalematrix: wrote trace %s\n", tracePath)
+	}
 	return nil
 }
 
 // runCell executes trials full pipeline passes at one worker count and
-// returns the median per-phase wall times. Every trial runs with a
-// fresh tracer + timeline, so the cell's timeline digest reflects
-// exactly one pipeline pass.
+// returns the median per-phase wall times plus the final trial's raw
+// timeline snapshot (for -trace export). Every trial runs with a fresh
+// tracer + timeline, so the cell's timeline digest reflects exactly one
+// pipeline pass.
 func runCell(g *graph.Graph, spec graphSpec, genName string, estKind coverage.EstimatorKind,
-	workers, trials, sets, rounds, k int, seed uint64) (cell, error) {
+	workers, trials, sets, rounds, k int, seed uint64) (cell, timeline.Snapshot, error) {
 	c := cell{
 		Graph:     spec.String(),
 		Gen:       genName,
@@ -362,13 +386,14 @@ func runCell(g *graph.Graph, spec graphSpec, genName string, estKind coverage.Es
 		PhaseNS:   make(map[string]int64, len(phaseNames)),
 	}
 	samples := make(map[string][]int64, len(phaseNames))
+	var lastSnap timeline.Snapshot
 	for trial := 0; trial < trials; trial++ {
 		tr := obs.NewTracer()
 		tr.EnableTimeline(0)
 		m := tr.Metrics()
 		gen, err := newGenerator(genName, g)
 		if err != nil {
-			return cell{}, err
+			return cell{}, timeline.Snapshot{}, err
 		}
 		b := im.NewInstrumentedBatcher(gen, seed, workers, m)
 		idx := im.NewEstimator(g.N(), nil, im.Options{Workers: workers, Estimator: estKind}, m)
@@ -408,14 +433,15 @@ func runCell(g *graph.Graph, spec graphSpec, genName string, estKind coverage.Es
 			c.seeds = seeds
 		}
 		if trial == trials-1 {
-			sum := timeline.Summarize(tr.Timeline().Snapshot())
+			lastSnap = tr.Timeline().Snapshot()
+			sum := timeline.Summarize(lastSnap)
 			c.Timeline = &sum
 		}
 	}
 	for _, name := range phaseNames {
 		c.PhaseNS[name] = medianInt64(samples[name])
 	}
-	return c, nil
+	return c, lastSnap, nil
 }
 
 func equalSeeds(a, b []int32) bool {

@@ -197,13 +197,16 @@ func TestRecordBench(t *testing.T) {
 
 // TestRunTinyMatrix drives the full pipeline end to end on a tiny matrix
 // and checks the artifacts: schema-stamped JSON with timeline digests,
-// valid curves, and the worker-independence assertion passing.
+// valid curves, the worker-independence assertion passing, a Perfetto
+// trace for the last cell, and zero splice time on sharded rows (the
+// splice phase does not exist on the zero-copy path).
 func TestRunTinyMatrix(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "matrix.json")
 	reportPath := filepath.Join(dir, "report.json")
-	err := run("pa:500x4", "subsim", "exact,hll", "1,2", 1, 600, 2, 5, 7,
-		jsonPath, filepath.Join(dir, "bench.json"), "tiny", reportPath)
+	tracePath := filepath.Join(dir, "trace.json")
+	err := run("pa:500x4", "subsim", "exact,hll,sharded", "1,2", 1, 600, 2, 5, 7,
+		jsonPath, filepath.Join(dir, "bench.json"), "tiny", reportPath, tracePath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,8 +221,8 @@ func TestRunTinyMatrix(t *testing.T) {
 	if doc.Schema != "subsim.scalematrix" || doc.SchemaVersion != 1 {
 		t.Fatalf("schema = %q v%d", doc.Schema, doc.SchemaVersion)
 	}
-	// 2 estimators × 2 worker counts.
-	if len(doc.Cells) != 4 {
+	// 3 estimators × 2 worker counts.
+	if len(doc.Cells) != 6 {
 		t.Fatalf("got %d cells", len(doc.Cells))
 	}
 	perEst := map[string]int{}
@@ -231,14 +234,31 @@ func TestRunTinyMatrix(t *testing.T) {
 		if c.PhaseNS["total"] <= 0 {
 			t.Errorf("cell %s W=%d: no total time", c.Estimator, c.Workers)
 		}
+		if c.Estimator == "sharded" && c.PhaseNS["splice"] != 0 {
+			t.Errorf("sharded cell W=%d: splice phase = %dns, want 0 (zero-copy fill)",
+				c.Workers, c.PhaseNS["splice"])
+		}
 	}
-	if perEst["exact"] != 2 || perEst["hll"] != 2 {
+	if perEst["exact"] != 2 || perEst["hll"] != 2 || perEst["sharded"] != 2 {
 		t.Fatalf("cells per estimator = %v", perEst)
 	}
-	if len(doc.Curves) != 2*len(phaseNames) {
+	if len(doc.Curves) != 3*len(phaseNames) {
 		t.Fatalf("got %d curves", len(doc.Curves))
 	}
 	if _, err := os.Stat(reportPath); err != nil {
 		t.Errorf("report not written: %v", err)
+	}
+	traceRaw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceRaw, &trace); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("trace has no events")
 	}
 }

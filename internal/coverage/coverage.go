@@ -730,7 +730,17 @@ func (x *Index) topSum(gains []int64, selected []bool, topL int) int64 {
 	if cap(x.topScratch) < topL {
 		x.topScratch = make([]int64, 0, topL)
 	}
-	best := x.topScratch[:0]
+	s, buf := topSumInt64(x.topScratch[:0], gains, selected, topL)
+	x.topScratch = buf
+	return s
+}
+
+// topSumInt64 is the bounded-insertion top-L sum shared by the exact
+// backends (Index and Sharded compute identical Λᵘ prefix bounds
+// through it): the sum of the topL largest gains among unselected
+// nodes. best is caller-owned scratch with capacity >= topL, length 0;
+// the possibly regrown buffer is returned for reuse.
+func topSumInt64(best []int64, gains []int64, selected []bool, topL int) (int64, []int64) {
 	for v, g := range gains {
 		if selected[v] || g == 0 {
 			continue
@@ -757,8 +767,7 @@ func (x *Index) topSum(gains []int64, selected []bool, topL int) int64 {
 	for _, g := range best {
 		s += g
 	}
-	x.topScratch = best[:0]
-	return s
+	return s, best[:0]
 }
 
 // insertionSortInt64 sorts ascending in place without the interface

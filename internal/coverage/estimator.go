@@ -25,6 +25,13 @@ const (
 	// coverage counts within a certified relative error, memory fixed at
 	// 2^precision bytes per node regardless of θ.
 	EstimatorHLL
+	// EstimatorSharded is the shard-parallel exact backend: per-worker
+	// arenas double as shard-local store segments (no splice memcpy),
+	// each shard keeps its own CSR inverted index, and every query —
+	// including every CELF round beyond the first — is answered as a
+	// tree-reduced sum of per-shard partials. Results are byte-identical
+	// to EstimatorExact for any worker count.
+	EstimatorSharded
 )
 
 // String returns the flag-level name of the backend.
@@ -32,20 +39,25 @@ func (k EstimatorKind) String() string {
 	switch k {
 	case EstimatorHLL:
 		return "hll"
+	case EstimatorSharded:
+		return "sharded"
 	default:
 		return "exact"
 	}
 }
 
-// ParseEstimator maps a flag value ("exact" | "hll") to its kind.
+// ParseEstimator maps a flag value ("exact" | "hll" | "sharded") to its
+// kind.
 func ParseEstimator(s string) (EstimatorKind, error) {
 	switch s {
 	case "exact", "":
 		return EstimatorExact, nil
 	case "hll", "sketch":
 		return EstimatorHLL, nil
+	case "sharded":
+		return EstimatorSharded, nil
 	default:
-		return EstimatorExact, fmt.Errorf("coverage: unknown estimator %q (want exact or hll)", s)
+		return EstimatorExact, fmt.Errorf("coverage: unknown estimator %q (want exact, hll or sharded)", s)
 	}
 }
 

@@ -1,0 +1,827 @@
+// Sharded coverage engine: the zero-splice, all-rounds-parallel exact
+// backend.
+//
+// Where *Index keeps one global flat store (which the batcher must
+// splice every per-worker arena into) and one global CSR inverted
+// index, *Sharded keeps S independent shards, each owning its RR sets
+// in a shard-local rrset.Arena that IS its store segment — the batcher
+// generates straight into it, so the splice memcpy disappears — plus a
+// shard-local CSR node→sets index and shard-local covered stamps.
+// Shards never merge: every query the greedy algorithms issue is an
+// integer sum over shards.
+//
+// # Why this is exact and worker-count independent
+//
+// Each RR set's content is a pure function of (seed, global index) —
+// the batcher reseeds a per-set RNG stream — and the shard assignment
+// is the pure function ShardOf(index, S) = index mod S. Degree,
+// CoverageOf, every CELF marginal gain, and the Λᵘ prefix bound are
+// sums of per-set indicator terms, and integer addition is associative
+// and commutative, so ANY partition of the sets into shards yields the
+// same totals. Sharded therefore returns byte-identical seeds, stats,
+// and certified bounds for workers 1, 2, and 8 — and identical results
+// to the single-store *Index — which the equivalence and conformance
+// suites pin.
+//
+// # Reduce ordering contract
+//
+// Parallel passes aggregate through per-lane partials that the
+// coordinator folds with reducePartials: a fixed pairwise tree (fold
+// p[i] += p[i+h] with halving h), never a racy accumulation. For the
+// integer sums of this backend the order cannot change the result; the
+// fixed tree is still the documented contract so a future float-valued
+// sharded backend inherits a deterministic reduction for free.
+//
+// # Parallelism shape
+//
+//   - CSR rebuilds: each dirty shard rebuilds its own index (the same
+//     delta counting sort as Index.buildSerial) with no cross-shard
+//     data; lanes pick up shards round-robin.
+//   - First CELF round: node-range partition, gains[v] summed over all
+//     shard heads, entries filled through prefix-summed slots exactly
+//     like Index.parallelInitialGains.
+//   - Every later CELF round: a stale heap top's marginal is recomputed
+//     as per-shard partials (each lane walks only its shards' posting
+//     lists against its shards' covered stamps — disjoint state), and
+//     the winning seed's covered-bit update fans out the same way, each
+//     recorded as timeline.PhaseReduce so rounds beyond the first are
+//     visible as parallel in the timeline digest.
+package coverage
+
+import (
+	"time"
+
+	"subsim/internal/obs"
+	"subsim/internal/obs/timeline"
+	"subsim/internal/rrset"
+)
+
+// parallelReduceMinPostings is the posting mass (across all shards) of
+// the heap-top node below which a marginal recompute or covered-bit
+// update stays serial; tiny posting lists are cheaper to walk inline
+// than to fan out. A var so tests can force the parallel reduce on
+// small inputs.
+var parallelReduceMinPostings = 1 << 11
+
+// ShardOf is the pure shard-assignment function: the RR set with global
+// index idx lives in shard idx mod shards. Both fill paths route
+// through it — Batcher.FillSharded by generation index, the generic
+// AbsorbArena by collection index — so placement never depends on
+// scheduling, only on (index, shard count).
+func ShardOf(idx int64, shards int) int {
+	return int(idx % int64(shards))
+}
+
+// covShard is one shard: its arena (the store segment the batcher
+// generates into), its CSR inverted index over the arena's sets
+// (shard-local set ids = arena positions), and its covered stamps.
+type covShard struct {
+	arena rrset.Arena
+
+	// CSR inverted index over the first `indexed` arena sets; the
+	// posting list of node v is postings[heads[v]:heads[v+1]],
+	// ascending by shard-local set id.
+	heads    []int64
+	postings []int32
+	indexed  int
+	cursors  []int64 // counting-sort scratch, len n, zeroed between builds
+
+	covered []uint32 // per-set stamp; covered in run r iff covered[i] == r
+	run     uint32
+
+	// Rebuild double buffers, swapped on every delta build like the
+	// global index's (see Index.commitBuild).
+	headsScratch []int64
+	postScratch  []int32
+}
+
+// Sharded is the sharded exact coverage estimator. Like *Index it is
+// append-only and not safe for concurrent mutation; SetWorkers bounds
+// internal parallelism and never changes any result. The shard count is
+// structural — fixed at construction, it decides data placement — while
+// the worker bound only decides how many lanes walk the shards.
+type Sharded struct {
+	n       int
+	outDeg  []int32 // optional out-degrees for the Revised-Greedy tie-break
+	shards  []covShard
+	workers int
+
+	// Selection scratch reused across SelectSeeds runs, mirroring the
+	// global index's: CELF heap backing, per-node gain upper bounds,
+	// selected marks, topSum buffer, per-lane reduce partials, and the
+	// entry-slot bases of the partitioned first round.
+	selEntries  []celfEntry
+	selGains    []int64
+	selSelected []bool
+	topScratch  []int64
+	partial     []int64
+
+	// Observability hooks (nil-safe), sharing the index-build metric
+	// family with *Index: rebuild durations land on the same histograms,
+	// split by the serial/parallel path taken across shards.
+	buildHist    *obs.Histogram
+	buildSerHist *obs.Histogram
+	buildParHist *obs.Histogram
+	entriesCtr   *obs.Counter
+
+	tl *timeline.Timeline
+
+	secBuild  *obs.PhaseSection
+	secGains  *obs.PhaseSection
+	secSelect *obs.PhaseSection
+	secReduce *obs.PhaseSection
+}
+
+// NewSharded returns an empty sharded estimator over n nodes with the
+// given shard count (clamped to >= 1). outDeg, when non-nil, supplies
+// the out-degrees for the Revised-Greedy tie-break; it must have
+// length n.
+func NewSharded(n int, outDeg []int32, shards int) *Sharded {
+	if outDeg != nil && len(outDeg) != n {
+		panic("coverage: outDeg length mismatch")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	x := &Sharded{
+		n:       n,
+		outDeg:  outDeg,
+		shards:  make([]covShard, shards),
+		workers: 1,
+	}
+	for s := range x.shards {
+		sh := &x.shards[s]
+		sh.heads = make([]int64, n+1)
+		sh.cursors = make([]int64, n)
+	}
+	return x
+}
+
+// NewShardedObs is NewSharded wired to m's index-build instruments and,
+// when m carries one, its execution timeline; a nil m yields a plain,
+// uninstrumented estimator.
+func NewShardedObs(n int, outDeg []int32, shards int, m *obs.MetricSet) *Sharded {
+	x := NewSharded(n, outDeg, shards)
+	if m != nil {
+		x.SetBuildMetrics(&m.IndexBuild, &m.IndexBuildSerial, &m.IndexBuildParallel, &m.IndexEntries)
+		x.SetTimeline(m.Timeline)
+	}
+	return x
+}
+
+// NumShards returns the structural shard count.
+func (x *Sharded) NumShards() int { return len(x.shards) }
+
+// ShardArena returns shard s's arena — the store segment the batcher's
+// zero-splice fill path generates into directly. The caller appends
+// committed sets (and may DropLast sentinel hits); the shard's CSR
+// picks the delta up lazily on the next query.
+func (x *Sharded) ShardArena(s int) *rrset.Arena { return &x.shards[s].arena }
+
+// SetWorkers bounds the internal parallelism of shard rebuilds, the
+// initial-gain pass, and the per-round reduces (clamped to >= 1). It
+// never changes any result.
+func (x *Sharded) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	x.workers = w
+	x.refreshSections()
+}
+
+// Workers returns the configured parallelism bound.
+func (x *Sharded) Workers() int { return x.workers }
+
+// SetBuildMetrics attaches the CSR-rebuild instruments (all nil-safe);
+// the estimator shares the exact index's metric family.
+func (x *Sharded) SetBuildMetrics(total, serial, parallel *obs.Histogram, entries *obs.Counter) {
+	x.buildHist = total
+	x.buildSerHist = serial
+	x.buildParHist = parallel
+	x.entriesCtr = entries
+	x.refreshSections()
+}
+
+// SetTimeline attaches a per-worker execution timeline (nil keeps every
+// record site a zero-cost no-op). Must not be called while a query is
+// in flight.
+func (x *Sharded) SetTimeline(tl *timeline.Timeline) {
+	x.tl = tl
+	x.refreshSections()
+}
+
+// refreshSections rebinds the cached pprof/trace sections to the
+// current worker count; sections materialise only once instrumentation
+// is attached.
+func (x *Sharded) refreshSections() {
+	if x.buildHist == nil && x.tl == nil {
+		return
+	}
+	x.secBuild = obs.Section("index-build", x.workers)
+	x.secGains = obs.Section("select-gains", x.workers)
+	x.secSelect = obs.Section("select", 1)
+	x.secReduce = obs.Section("reduce", x.workers)
+}
+
+// ring returns worker w's timeline ring (nil when no timeline is
+// attached).
+func (x *Sharded) ring(w int) *timeline.Ring { return x.tl.Worker(w) }
+
+// runTimed is runParallel with per-worker timeline records, mirroring
+// Index.runTimed: the wrapper closure exists only on the instrumented
+// path, so the uninstrumented pipeline stays allocation-identical.
+func (x *Sharded) runTimed(phase timeline.Phase, workers int, fn func(w int)) {
+	if x.tl == nil {
+		runParallel(workers, fn)
+		return
+	}
+	runParallel(workers, func(w int) {
+		r := x.tl.Worker(w)
+		t0 := r.Now()
+		fn(w)
+		r.Record(phase, t0, r.Now())
+	})
+}
+
+// growPartial sizes the per-lane partial-aggregate scratch.
+func (x *Sharded) growPartial(lanes int) {
+	if cap(x.partial) < lanes {
+		x.partial = make([]int64, lanes)
+	}
+	x.partial = x.partial[:lanes]
+}
+
+// reducePartials folds the per-lane partials in the fixed pairwise tree
+// documented in the package comment: halve the live prefix, adding the
+// upper half onto the lower, until one value remains. The fold mutates
+// p (it is lane scratch).
+func reducePartials(p []int64) int64 {
+	if len(p) == 0 {
+		return 0
+	}
+	for n := len(p); n > 1; {
+		h := (n + 1) / 2
+		for i := 0; i+h < n; i++ {
+			p[i] += p[i+h]
+		}
+		n = h
+	}
+	return p[0]
+}
+
+// N returns the number of nodes the estimator is defined over.
+func (x *Sharded) N() int { return x.n }
+
+// NumSets returns the number of RR sets across all shards.
+func (x *Sharded) NumSets() int {
+	total := 0
+	for s := range x.shards {
+		total += x.shards[s].arena.Len()
+	}
+	return total
+}
+
+// MemoryBytes reports the approximate heap footprint of the shard
+// arenas plus their CSR indexes.
+func (x *Sharded) MemoryBytes() int64 {
+	var b int64
+	for s := range x.shards {
+		sh := &x.shards[s]
+		b += sh.arena.MemoryBytes()
+		b += int64(cap(sh.postings))*4 + int64(cap(sh.heads))*8
+	}
+	return b
+}
+
+// Kind identifies the sharded exact backend.
+func (x *Sharded) Kind() EstimatorKind { return EstimatorSharded }
+
+// RelError is 0: shard sums count coverage exactly.
+func (x *Sharded) RelError() float64 { return 0 }
+
+// Add absorbs one RR set, routed by ShardOf over the current
+// collection index.
+func (x *Sharded) Add(set rrset.RRSet) {
+	s := ShardOf(int64(x.NumSets()), len(x.shards))
+	x.shards[s].arena.Append(set)
+}
+
+// AbsorbArena absorbs a flat arena buffer, skipping sentinel-terminated
+// sets and routing each kept set to ShardOf(collection index, S). It is
+// the generic ingestion path; Batcher.FillSharded bypasses it by
+// generating into the shard arenas directly.
+func (x *Sharded) AbsorbArena(data []int32, ends []int64, sentinel []bool) int64 {
+	idx := int64(x.NumSets())
+	shards := len(x.shards)
+	var hits int64
+	start := int64(0)
+	for _, end := range ends {
+		if sentinel != nil && end > start && sentinel[data[end-1]] {
+			hits++
+			start = end
+			continue
+		}
+		x.shards[ShardOf(idx, shards)].arena.Append(data[start:end])
+		idx++
+		start = end
+	}
+	return hits
+}
+
+// ensureIndexed brings every shard's CSR (and covered stamps) up to
+// date with its arena. Dirty shards rebuild independently — the same
+// delta counting sort as the global index, just shard-local — so there
+// is no merge step; with SetWorkers(w>1) and a large enough total delta
+// the rebuilds fan out across lanes, each lane walking shards
+// round-robin.
+//
+//subsim:parallel
+func (x *Sharded) ensureIndexed() {
+	var delta int64
+	dirty := 0
+	for s := range x.shards {
+		sh := &x.shards[s]
+		if sh.indexed != sh.arena.Len() {
+			dirty++
+			delta += sh.deltaNodes()
+		}
+	}
+	if dirty == 0 {
+		return
+	}
+	sec := x.secBuild.Enter()
+	start := time.Now() //lint:allow timing (feeds the index-build duration histograms only)
+
+	lanes := x.workers
+	if lanes > len(x.shards) {
+		lanes = len(x.shards)
+	}
+	parallel := lanes > 1 && delta >= int64(parallelBuildMinDelta)
+	if parallel {
+		x.runTimed(timeline.PhaseIndexBuild, lanes, func(l int) {
+			for s := l; s < len(x.shards); s += lanes {
+				x.shards[s].build(x.n)
+			}
+		})
+	} else {
+		r := x.ring(0)
+		t0 := r.Now()
+		for s := range x.shards {
+			x.shards[s].build(x.n)
+		}
+		r.Record(timeline.PhaseIndexBuild, t0, r.Now())
+	}
+
+	x.entriesCtr.Add(delta)
+	ns := time.Since(start).Nanoseconds() //lint:allow timing (feeds the index-build duration histograms only)
+	x.buildHist.Observe(ns)
+	if parallel {
+		x.buildParHist.Observe(ns)
+	} else {
+		x.buildSerHist.Observe(ns)
+	}
+	sec.Exit()
+}
+
+// deltaNodes returns the number of node ids appended since the shard's
+// last build.
+func (sh *covShard) deltaNodes() int64 {
+	from := int64(0)
+	if sh.indexed > 0 {
+		from = sh.arena.Ends()[sh.indexed-1]
+	}
+	return int64(sh.arena.NumNodes()) - from
+}
+
+// build is the shard-local delta CSR rebuild: counting pass over the
+// delta, prefix-summed heads, block copy of the old posting lists,
+// scatter of the delta ids — Index.buildSerial against the arena
+// instead of a spliced store. No-op on a clean shard.
+//
+//subsim:hotpath
+func (sh *covShard) build(n int) {
+	total := sh.arena.Len()
+	if sh.indexed == total {
+		return
+	}
+	data := sh.arena.Data()
+	ends := sh.arena.Ends()
+	deltaFrom := int64(0)
+	if sh.indexed > 0 {
+		deltaFrom = ends[sh.indexed-1]
+	}
+
+	// Counting pass over the delta only.
+	cnt := sh.cursors // zeroed by the previous build (or construction)
+	for _, v := range data[deltaFrom:] {
+		cnt[v]++
+	}
+
+	// New heads: old per-node length + delta count, prefix-summed.
+	if cap(sh.headsScratch) < n+1 {
+		sh.headsScratch = make([]int64, n+1)
+	}
+	newHeads := sh.headsScratch[:n+1]
+	var acc int64
+	for v := 0; v < n; v++ {
+		newHeads[v] = acc
+		acc += (sh.heads[v+1] - sh.heads[v]) + cnt[v]
+	}
+	newHeads[n] = acc
+	if int64(cap(sh.postScratch)) < acc {
+		newCap := 2 * int64(cap(sh.postScratch))
+		if newCap < acc {
+			newCap = acc
+		}
+		sh.postScratch = make([]int32, newCap)
+	}
+	newPost := sh.postScratch[:acc]
+
+	// Placement pass: block-copy the old posting lists, then scatter the
+	// delta ids behind them (ascending shard-local id order keeps every
+	// list sorted).
+	for v := 0; v < n; v++ {
+		oldLen := sh.heads[v+1] - sh.heads[v]
+		if oldLen > 0 {
+			copy(newPost[newHeads[v]:], sh.postings[sh.heads[v]:sh.heads[v+1]])
+		}
+		cnt[v] = newHeads[v] + oldLen // becomes the scatter cursor
+	}
+	pos := deltaFrom
+	for id := sh.indexed; id < total; id++ {
+		end := ends[id]
+		for ; pos < end; pos++ {
+			v := data[pos]
+			newPost[cnt[v]] = int32(id)
+			cnt[v]++
+		}
+	}
+	for v := range cnt {
+		cnt[v] = 0
+	}
+
+	// Double-buffer swap, then grow the covered stamps (geometrically;
+	// fresh sets carry stamp 0, never a live run id).
+	sh.headsScratch = sh.heads
+	sh.heads = newHeads
+	sh.postScratch = sh.postings
+	sh.postings = newPost
+	sh.indexed = total
+	if cap(sh.covered) < total {
+		newCap := 2 * cap(sh.covered)
+		if newCap < total {
+			newCap = total
+		}
+		grown := make([]uint32, total, newCap)
+		copy(grown, sh.covered)
+		sh.covered = grown
+	} else {
+		tail := sh.covered[len(sh.covered):total]
+		for i := range tail {
+			tail[i] = 0 // recycled capacity may hold stale stamps
+		}
+		sh.covered = sh.covered[:total]
+	}
+}
+
+// posting returns the shard's CSR posting list of node v.
+func (sh *covShard) posting(v int32) []int32 {
+	return sh.postings[sh.heads[v]:sh.heads[v+1]]
+}
+
+func (sh *covShard) newRun() {
+	sh.run++
+	if sh.run == 0 {
+		for i := range sh.covered {
+			sh.covered[i] = 0
+		}
+		sh.run = 1
+	}
+}
+
+// marginal returns the shard's contribution to the exact marginal
+// coverage of v against its current covered stamps.
+//
+//subsim:hotpath
+func (sh *covShard) marginal(v int32) int64 {
+	var g int64
+	for _, id := range sh.posting(v) {
+		if sh.covered[id] != sh.run {
+			g++
+		}
+	}
+	return g
+}
+
+// cover stamps every uncovered set of v's shard posting list and
+// returns the number newly covered — the shard's partial of the
+// seed-commit update.
+//
+//subsim:hotpath
+func (sh *covShard) cover(v int32) int64 {
+	var d int64
+	for _, id := range sh.posting(v) {
+		if sh.covered[id] != sh.run {
+			sh.covered[id] = sh.run
+			d++
+		}
+	}
+	return d
+}
+
+// Degree returns the exact number of absorbed RR sets containing v:
+// the sum of v's posting-list lengths over all shards.
+func (x *Sharded) Degree(v int32) int {
+	x.ensureIndexed()
+	var d int64
+	for s := range x.shards {
+		sh := &x.shards[s]
+		d += sh.heads[v+1] - sh.heads[v]
+	}
+	return int(d)
+}
+
+// CoverageOf returns Λ(S) exactly: each shard counts the sets its
+// segment contributes (under a fresh run), and the counts add up
+// because the shards partition the collection.
+func (x *Sharded) CoverageOf(seeds []int32) int64 {
+	x.ensureIndexed()
+	var cov int64
+	for s := range x.shards {
+		sh := &x.shards[s]
+		sh.newRun()
+		for _, v := range seeds {
+			for _, id := range sh.posting(v) {
+				if sh.covered[id] != sh.run {
+					sh.covered[id] = sh.run
+					cov++
+				}
+			}
+		}
+	}
+	return cov
+}
+
+// postingMass returns the total posting-list length of v across shards,
+// the fan-out decision input for the per-round reduces.
+func (x *Sharded) postingMass(v int32) int64 {
+	var m int64
+	for s := range x.shards {
+		sh := &x.shards[s]
+		m += sh.heads[v+1] - sh.heads[v]
+	}
+	return m
+}
+
+// marginal returns the exact marginal coverage of v: per-shard partials
+// tree-reduced in the fixed lane order. Heavy posting lists fan out
+// across lanes (each lane owning whole shards, so covered-stamp reads
+// never cross a lane boundary); light ones stay inline.
+//
+//subsim:parallel
+func (x *Sharded) marginal(v int32) int64 {
+	shards := len(x.shards)
+	lanes := x.workers
+	if lanes > shards {
+		lanes = shards
+	}
+	if lanes > 1 && x.postingMass(v) >= int64(parallelReduceMinPostings) {
+		sec := x.secReduce.Enter()
+		x.growPartial(lanes)
+		x.runTimed(timeline.PhaseReduce, lanes, func(l int) {
+			var g int64
+			for s := l; s < shards; s += lanes {
+				g += x.shards[s].marginal(v)
+			}
+			x.partial[l] = g
+		})
+		sec.Exit()
+		return reducePartials(x.partial[:lanes])
+	}
+	var g int64
+	for s := range x.shards {
+		g += x.shards[s].marginal(v)
+	}
+	return g
+}
+
+// commitSeed stamps the sets of the freshly selected seed as covered in
+// every shard and returns the total newly covered — the fan-out twin of
+// marginal, with per-shard deltas tree-reduced the same way.
+//
+//subsim:parallel
+func (x *Sharded) commitSeed(v int32) int64 {
+	shards := len(x.shards)
+	lanes := x.workers
+	if lanes > shards {
+		lanes = shards
+	}
+	if lanes > 1 && x.postingMass(v) >= int64(parallelReduceMinPostings) {
+		sec := x.secReduce.Enter()
+		x.growPartial(lanes)
+		x.runTimed(timeline.PhaseReduce, lanes, func(l int) {
+			var d int64
+			for s := l; s < shards; s += lanes {
+				d += x.shards[s].cover(v)
+			}
+			x.partial[l] = d
+		})
+		sec.Exit()
+		return reducePartials(x.partial[:lanes])
+	}
+	var d int64
+	for s := range x.shards {
+		d += x.shards[s].cover(v)
+	}
+	return d
+}
+
+// parallelInitialGains is the partitioned first CELF round over shard
+// sums: gains[v] is the sum of v's posting lengths across shards, and
+// entries are filled through per-range prefix-summed slots so the order
+// (ascending node id, exclusions skipped) matches the serial loop
+// exactly — the same construction as the global index's.
+func (x *Sharded) parallelInitialGains(entries []celfEntry, gains []int64, exclude []bool) []celfEntry {
+	workers := x.workers
+	x.growPartial(workers)
+	x.runTimed(timeline.PhaseGains, workers, func(w int) {
+		lo := x.n * w / workers
+		hi := x.n * (w + 1) / workers
+		x.partial[w] = x.gainsRangeSharded(gains, exclude, lo, hi)
+	})
+	var totalEntries int64
+	for w := 0; w < workers; w++ {
+		totalEntries, x.partial[w] = totalEntries+x.partial[w], totalEntries // partial becomes the slot base
+	}
+	entries = entries[:totalEntries]
+	x.runTimed(timeline.PhaseGains, workers, func(w int) {
+		lo := x.n * w / workers
+		hi := x.n * (w + 1) / workers
+		fillEntriesRange(entries, gains, exclude, lo, hi, int(x.partial[w]))
+	})
+	return entries
+}
+
+// gainsRangeSharded writes the shard-summed initial gain of every node
+// in [lo, hi) — or 0 for excluded nodes, keeping the reused gain vector
+// topSum-safe — and returns the number of non-excluded nodes.
+//
+//subsim:hotpath
+func (x *Sharded) gainsRangeSharded(gains []int64, exclude []bool, lo, hi int) int64 {
+	var cnt int64
+	for v := lo; v < hi; v++ {
+		if exclude != nil && exclude[v] {
+			gains[v] = 0
+			continue
+		}
+		var g int64
+		for s := range x.shards {
+			sh := &x.shards[s]
+			g += sh.heads[v+1] - sh.heads[v]
+		}
+		gains[v] = g
+		cnt++
+	}
+	return cnt
+}
+
+// SelectSeeds runs the identical lazy-greedy CELF algorithm as the
+// global index — same heap, same tie-breaks, same Λᵘ prefix bound, and
+// therefore the same picks — with every round's heavy work (stale-top
+// marginal recomputes AND the covered-bit commit) fanned out across
+// shards and tree-reduced, not just the first round's gain pass.
+// Per-run scratch is reused across calls.
+//
+//subsim:parallel
+func (x *Sharded) SelectSeeds(opt GreedyOptions) GreedyResult {
+	k := opt.K
+	if k > x.n {
+		k = x.n
+	}
+	if k < 0 {
+		k = 0
+	}
+	topL := opt.TopL
+	if topL <= 0 {
+		topL = k
+	}
+	var tie []int32
+	if opt.Revised {
+		if x.outDeg == nil {
+			panic("coverage: Revised greedy requires out-degrees")
+		}
+		tie = x.outDeg
+	}
+
+	x.ensureIndexed()
+	for s := range x.shards {
+		x.shards[s].newRun()
+	}
+	if cap(x.selEntries) < x.n {
+		x.selEntries = make([]celfEntry, 0, x.n)
+	}
+	if len(x.selGains) < x.n {
+		x.selGains = make([]int64, x.n)
+	}
+	if len(x.selSelected) < x.n {
+		x.selSelected = make([]bool, x.n) // reset to all-false after every run
+	}
+	var h celfHeap
+	h.outDeg = tie
+	h.entries = x.selEntries[:0]
+	gains := x.selGains[:x.n]
+	selected := x.selSelected[:x.n]
+
+	secG := x.secGains.Enter()
+	if x.workers > 1 && x.n >= parallelGainsMinNodes {
+		h.entries = x.parallelInitialGains(h.entries, gains, opt.Exclude)
+	} else {
+		r := x.ring(0)
+		t0 := r.Now()
+		for v := 0; v < x.n; v++ {
+			if opt.Exclude != nil && opt.Exclude[v] {
+				gains[v] = 0
+				continue
+			}
+			var g int64
+			for s := range x.shards {
+				sh := &x.shards[s]
+				g += sh.heads[v+1] - sh.heads[v]
+			}
+			gains[v] = g
+			h.entries = append(h.entries, celfEntry{gain: g, node: int32(v), iter: 0})
+		}
+		r.Record(timeline.PhaseGains, t0, r.Now())
+	}
+	h.init()
+	secG.Exit()
+
+	res := GreedyResult{
+		Seeds:         make([]int32, 0, k),
+		Coverage:      make([]int64, 0, k),
+		CoverageUpper: int64(x.NumSets()) + opt.Base, // trivial bound; tightened below
+	}
+	res.tightenUpper(opt.Base + x.topSum(gains, selected, topL))
+
+	secS := x.secSelect.Enter()
+	rSel := x.ring(0)
+	tSel := rSel.Now()
+	var cum int64
+	nextBoundAt := 1
+	for round := int32(1); int(round) <= k && h.Len() > 0; round++ {
+		var pick celfEntry
+		for {
+			pick = h.pop()
+			if pick.iter == round-1 || pick.gain == 0 {
+				// Fresh (computed against the current covered state), or
+				// zero — no stale entry can beat zero since gains are
+				// non-negative.
+				break
+			}
+			// Stale: recompute the exact marginal (fanning out across
+			// shards when the posting mass warrants it) and reinsert.
+			pick.gain = x.marginal(pick.node)
+			pick.iter = round - 1
+			gains[pick.node] = pick.gain
+			h.push(pick)
+		}
+		v := pick.node
+		selected[v] = true
+		gains[v] = 0
+		cum += x.commitSeed(v)
+		res.Seeds = append(res.Seeds, v)
+		res.Coverage = append(res.Coverage, opt.Base+cum)
+
+		if int(round) == nextBoundAt || int(round) == k {
+			// Stored gains upper-bound each node's current marginal
+			// (submodularity), so their topL sum dominates the true
+			// maxMC sum at this prefix.
+			res.tightenUpper(opt.Base + cum + x.topSum(gains, selected, topL))
+			nextBoundAt *= 2
+		}
+	}
+	rSel.Record(timeline.PhaseSelect, tSel, rSel.Now())
+	secS.Exit()
+	// Recycle the scratch: clear the selected marks (only the picked
+	// seeds are set) and keep the heap's backing array.
+	for _, v := range res.Seeds {
+		selected[v] = false
+	}
+	x.selEntries = h.entries[:0]
+	return res
+}
+
+// topSum returns the sum of the topL largest gains among unselected
+// nodes through the shared bounded-insertion helper, against
+// estimator-level scratch.
+func (x *Sharded) topSum(gains []int64, selected []bool, topL int) int64 {
+	if topL <= 0 {
+		return 0
+	}
+	if cap(x.topScratch) < topL {
+		x.topScratch = make([]int64, 0, topL)
+	}
+	s, buf := topSumInt64(x.topScratch[:0], gains, selected, topL)
+	x.topScratch = buf
+	return s
+}

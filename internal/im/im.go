@@ -473,14 +473,26 @@ func (b *Batcher) FillIndex(idx *coverage.Index, count int, sentinel []bool) (hi
 // Fill generates count RR sets and absorbs them into est, returning the
 // number of sentinel-terminated sets that were skipped. An exact index
 // takes the FillIndex disjoint-range splice path unchanged (bit-for-bit
-// identical to historic behavior); any other estimator consumes the
-// per-worker arenas through AbsorbArena in ascending worker order, which
-// replays the sets in global-index order — so both backends see the same
-// sets with the same ids regardless of the worker count.
+// identical to historic behavior); a sharded estimator whose shard count
+// matches the batcher's worker count takes the zero-splice FillSharded
+// path, generating straight into the shard arenas; any other estimator
+// consumes the per-worker arenas through AbsorbArena in ascending worker
+// order, which replays the sets in global-index order — so every backend
+// sees the same sets with the same ids regardless of the worker count.
 func (b *Batcher) Fill(est coverage.Estimator, count int, sentinel []bool) (hits int64) {
 	if idx, ok := est.(*coverage.Index); ok {
 		return b.FillIndex(idx, count, sentinel)
 	}
+	if sh, ok := est.(*coverage.Sharded); ok {
+		return b.FillSharded(sh, count, sentinel)
+	}
+	return b.absorbInto(est, count, sentinel)
+}
+
+// absorbInto is the generic estimator fill path: generate into the
+// per-worker arenas, then hand each arena to AbsorbArena in ascending
+// worker order (global-index order).
+func (b *Batcher) absorbInto(est coverage.Estimator, count int, sentinel []bool) (hits int64) {
 	if count <= 0 {
 		return 0
 	}
@@ -503,16 +515,112 @@ func (b *Batcher) Fill(est coverage.Estimator, count int, sentinel []bool) (hits
 	return hits
 }
 
+// FillSharded generates count RR sets directly into sh's shard-local
+// arenas — the zero-splice fill path. Worker lane w owns shard w and
+// generates exactly the global indices idx with coverage.ShardOf(idx,
+// shards) == w, so placement is the documented pure function of (index,
+// shard count) and no arena-to-store copy ever happens: the arena IS
+// the shard's store segment, and sentinel-terminated sets are truncated
+// in place (Arena.DropLast) instead of filtered by a copy pass. There
+// are no splice timeline records on this path — the phase is gone, not
+// merely cheap.
+//
+// A shard count different from the batcher's worker count falls back to
+// the generic absorb path (still correct, routed by collection index).
+// Results are identical either way: every coverage query is a sum over
+// shards, so the partition cannot change it.
+//
+//subsim:parallel
+func (b *Batcher) FillSharded(sh *coverage.Sharded, count int, sentinel []bool) (hits int64) {
+	if count <= 0 {
+		return 0
+	}
+	shards := sh.NumShards()
+	if shards != len(b.gens) {
+		return b.absorbInto(sh, count, sentinel)
+	}
+	hGen := b.secGenerate.Enter()
+	first := b.next
+	b.next += int64(count)
+	if count < 4*shards || shards == 1 {
+		// Small batch: worker 0's generator serves every shard in turn;
+		// set content depends only on (seed, index), so the lane choice
+		// is invisible.
+		for s := 0; s < shards; s++ {
+			hits += b.fillShard(sh.ShardArena(s), 0, s, shards, first, count, sentinel)
+		}
+		hGen.Exit()
+		return hits
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	for w := 1; w < shards; w++ {
+		go func(w int) {
+			defer wg.Done()
+			b.hitCnt[w] = b.fillShard(sh.ShardArena(w), w, w, shards, first, count, sentinel)
+		}(w)
+	}
+	b.hitCnt[0] = b.fillShard(sh.ShardArena(0), 0, 0, shards, first, count, sentinel)
+	wg.Wait()
+	for w := 0; w < shards; w++ {
+		hits += b.hitCnt[w]
+	}
+	hGen.Exit()
+	return hits
+}
+
+// fillShard generates every global index idx in [first, first+count)
+// with ShardOf(idx, shards) == shard into a, through worker lane w's
+// generator and RNG stream, appending onto whatever the arena already
+// holds (it is a persistent store segment, never Reset). Sets that
+// terminated on a sentinel are dropped in place and counted.
+func (b *Batcher) fillShard(a *rrset.Arena, w, shard, shards int, first int64, count int, sentinel []bool) (hits int64) {
+	r := (int64(shard) - first%int64(shards) + int64(shards)) % int64(shards)
+	if r >= int64(count) {
+		return 0
+	}
+	cnt := (int64(count) - r + int64(shards) - 1) / int64(shards)
+	b.reserve(a, w, int(cnt))
+	last := first + int64(count)
+	for idx := first + r; idx < last; idx += int64(shards) {
+		b.srcs[w].Seed(setSeed(b.seed, idx))
+		rrset.GenerateRandomInto(b.gens[w], a, b.srcs[w], sentinel)
+		if sentinel != nil && arenaLastHit(a, sentinel) {
+			a.DropLast()
+			hits++
+		}
+	}
+	return hits
+}
+
+// arenaLastHit reports whether the arena's most recently committed set
+// terminated on a sentinel; the traversal always leaves the sentinel as
+// the set's last element.
+func arenaLastHit(a *rrset.Arena, sentinel []bool) bool {
+	set := a.Set(a.Len() - 1)
+	return len(set) > 0 && sentinel[set[len(set)-1]]
+}
+
 // NewEstimator constructs the coverage backend opt selects, wired to the
 // metric set (which may be nil): the exact CSR index for
 // coverage.EstimatorExact — built exactly as the algorithms historically
-// built it, so default-option runs stay bit-identical — or the HLL
-// sketch backend. Worker bounds are inherited from opt.Workers.
+// built it, so default-option runs stay bit-identical — the HLL sketch
+// backend, or the sharded exact engine (one shard per worker, exact and
+// byte-identical to the CSR index for any worker count). Worker bounds
+// are inherited from opt.Workers.
 func NewEstimator(n int, outDeg []int32, opt Options, m *obs.MetricSet) coverage.Estimator {
-	if opt.Estimator == coverage.EstimatorHLL {
+	switch opt.Estimator {
+	case coverage.EstimatorHLL:
 		h := coverage.NewHLLObs(n, outDeg, opt.SketchPrecision, m)
 		h.SetWorkers(opt.Workers)
 		return h
+	case coverage.EstimatorSharded:
+		// One shard per worker, so Batcher.Fill takes the zero-splice
+		// direct-generation path; the shard count never changes a result
+		// (every query is a sum over shards).
+		s := coverage.NewShardedObs(n, outDeg, opt.Workers, m)
+		s.SetWorkers(opt.Workers)
+		return s
 	}
 	idx := coverage.NewIndexObs(n, outDeg, m)
 	idx.SetWorkers(opt.Workers)

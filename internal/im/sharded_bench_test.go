@@ -1,0 +1,60 @@
+package im
+
+import (
+	"testing"
+
+	"subsim/internal/coverage"
+	"subsim/internal/rrset"
+)
+
+// benchFillSharded measures the zero-copy counterpart of benchFillIndex:
+// sampling setsPer RR sets straight into the shard arenas (no
+// arena→store splice exists on this path) and forcing the per-shard CSR
+// builds with a degree probe. Compare against BenchmarkFillIndex_Subsim
+// at the same W to see what killing the splice buys; W>1 scaling needs
+// a multi-core host like every other _W variant.
+func benchFillSharded(b *testing.B, workers, setsPer int) {
+	b.Helper()
+	g := benchGraph(b, 5000, 40000)
+	batch := NewBatcher(rrset.NewSubsim(g), 42, workers)
+	sh := coverage.NewSharded(g.N(), nil, workers)
+	sh.SetWorkers(workers)
+	batch.FillSharded(sh, setsPer, nil)
+	sh.Degree(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh := coverage.NewSharded(g.N(), nil, workers)
+		sh.SetWorkers(workers)
+		batch.FillSharded(sh, setsPer, nil)
+		sh.Degree(0) // force the per-shard inverted index builds
+	}
+	b.ReportMetric(float64(setsPer), "sets/op")
+}
+
+func BenchmarkFillSharded_W1(b *testing.B) { benchFillSharded(b, 1, 2000) }
+func BenchmarkFillSharded_W4(b *testing.B) { benchFillSharded(b, 4, 2000) }
+func BenchmarkFillSharded_W8(b *testing.B) { benchFillSharded(b, 8, 2000) }
+
+// BenchmarkShardedSelectSeeds measures CELF selection over the sharded
+// engine — unlike the exact index, every round's marginal-gain reduce
+// and covered-bit fan-out runs across workers, so this is the benchmark
+// where rounds beyond the first scale.
+func benchShardedSelect(b *testing.B, workers int) {
+	b.Helper()
+	g := benchGraph(b, 5000, 40000)
+	batch := NewBatcher(rrset.NewSubsim(g), 42, workers)
+	sh := coverage.NewSharded(g.N(), nil, workers)
+	sh.SetWorkers(workers)
+	batch.FillSharded(sh, 20000, nil)
+	sh.Degree(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sh.SelectSeeds(coverage.GreedyOptions{K: 50})
+	}
+}
+
+func BenchmarkShardedSelectSeeds_W1(b *testing.B) { benchShardedSelect(b, 1) }
+func BenchmarkShardedSelectSeeds_W4(b *testing.B) { benchShardedSelect(b, 4) }
+func BenchmarkShardedSelectSeeds_W8(b *testing.B) { benchShardedSelect(b, 8) }

@@ -59,6 +59,12 @@ const (
 	PhaseGains
 	// PhaseSelect is the serial lazy-greedy CELF loop (coordinator only).
 	PhaseSelect
+	// PhaseReduce is one worker's share of a fanned-out CELF round in the
+	// sharded coverage engine: a per-shard partial marginal recompute or
+	// covered-bit update whose partial aggregates are tree-reduced by the
+	// coordinator (coverage.Sharded). These records are what make rounds
+	// beyond the first visible as parallel in the timeline digest.
+	PhaseReduce
 	// PhaseOther is the catch-all for callers outside the known pipeline.
 	PhaseOther
 
@@ -66,7 +72,7 @@ const (
 )
 
 var phaseNames = [numPhases]string{
-	"generate", "splice", "index-build", "select-gains", "select", "other",
+	"generate", "splice", "index-build", "select-gains", "select", "reduce", "other",
 }
 
 // String returns the stable lower-case phase name used in exports.

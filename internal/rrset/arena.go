@@ -69,6 +69,38 @@ func (a *Arena) Data() []int32 { return a.data }
 // Ends returns the per-set exclusive end offsets (see Data).
 func (a *Arena) Ends() []int64 { return a.ends }
 
+// Append copies one RR set into the arena as a committed set. It is the
+// generic ingestion path for callers that route already-generated sets
+// into shard-local arenas (coverage.Sharded); generators writing in
+// place still go through GenerateInto, which skips the copy.
+func (a *Arena) Append(set []int32) {
+	a.data = append(a.data, set...)
+	a.ends = append(a.ends, int64(len(a.data)))
+}
+
+// DropLast removes the most recently committed set, returning its node
+// ids to the free tail of the buffer. It is how the zero-splice fill
+// path discards a sentinel-terminated set in place — the set is
+// generated directly into its shard's arena and truncated on detection
+// instead of being filtered by a copy pass. Panics if the arena is
+// empty.
+func (a *Arena) DropLast() {
+	n := len(a.ends) - 1
+	start := int64(0)
+	if n > 0 {
+		start = a.ends[n-1]
+	}
+	a.data = a.data[:start]
+	a.ends = a.ends[:n]
+}
+
+// MemoryBytes reports the approximate heap footprint of the arena's two
+// flat buffers — the same accounting as Store.MemoryBytes, needed now
+// that shard-local arenas ARE store segments (coverage.Sharded).
+func (a *Arena) MemoryBytes() int64 {
+	return int64(cap(a.data))*4 + int64(cap(a.ends))*8
+}
+
 // start returns the offset new nodes will be appended at.
 func (a *Arena) start() int { return len(a.data) }
 

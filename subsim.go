@@ -97,9 +97,15 @@ const (
 	EstimatorExact = coverage.EstimatorExact
 	// EstimatorHLL is the register-array HyperLogLog sketch backend.
 	EstimatorHLL = coverage.EstimatorHLL
+	// EstimatorSharded is the shard-parallel exact engine: per-worker
+	// shard-local arenas and CSR indexes (no splice copy, no global
+	// merge) with every CELF round fanned out and tree-reduced.
+	// Byte-identical results to EstimatorExact for any worker count.
+	EstimatorSharded = coverage.EstimatorSharded
 )
 
-// ParseEstimator maps a flag value ("exact" | "hll") to its kind.
+// ParseEstimator maps a flag value ("exact" | "hll" | "sharded") to its
+// kind.
 func ParseEstimator(s string) (EstimatorKind, error) { return coverage.ParseEstimator(s) }
 
 // BoundKind selects the sample-complexity analysis capping θ via
