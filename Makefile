@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vet-strict escape-gate escape-baseline fuzz-smoke test test-alloc race serve-smoke scale-smoke cover bench bench-json bench-scale bench-sketch bench-matrix benchcmp benchcheck benchobs examples experiments quick clean
+.PHONY: all build vet lint vet-strict escape-gate escape-baseline fuzz-smoke test test-alloc race serve-smoke scale-smoke flight-smoke cover bench bench-json bench-scale bench-sketch bench-matrix benchcmp benchcheck benchobs examples experiments quick clean
 
-all: build vet lint test test-alloc race serve-smoke scale-smoke escape-gate
+all: build vet lint test test-alloc race serve-smoke scale-smoke flight-smoke escape-gate
 
 build:
 	$(GO) build ./...
@@ -54,10 +54,12 @@ test:
 # Allocation-regression gate: the generate→store→index pipeline must
 # stay allocation-free per RR set in steady state (see BENCH_rrset.json),
 # including across repeated FillIndex→SelectSeeds rounds (the CSR double
-# buffers and selection scratch are reused, not reallocated).
+# buffers and selection scratch are reused, not reallocated), and the
+# always-on flight recorder must journal and sample without allocating.
 test-alloc:
 	$(GO) test ./internal/im -run 'AllocFree|AmortizedAllocs|RoundsAllocs' -v
 	$(GO) test ./internal/coverage -run 'ScratchReuse' -v
+	$(GO) test ./internal/obs/flight -run 'AllocFree' -v
 
 race:
 	$(GO) test -race ./...
@@ -85,6 +87,29 @@ scale-smoke:
 		-sets 3000 -rounds 2 -k 10 -report bin/scalematrix_smoke_report.json
 	bin/obsdiff bin/scalematrix_smoke_report.json bin/scalematrix_smoke_report.json
 	rm -f bin/scalematrix_smoke_report.json
+
+# Post-mortem smoke gate for the flight recorder: force the two crash
+# paths out of the real imrun binary (-flight-selftest panic re-panics
+# through CapturePanic and must exit 2; -flight-selftest stall wedges an
+# open span until the watchdog writes a bundle and exits 0), then prove
+# cmd/obsbundle summarizes each bundle and that a self-diff of its run
+# report exits 0 — the crash-dump pipeline stays consumable end to end.
+flight-smoke:
+	$(GO) build -o bin/imrun ./cmd/imrun
+	$(GO) build -o bin/obsbundle ./cmd/obsbundle
+	rm -rf bin/flightsmoke && mkdir -p bin/flightsmoke/panic bin/flightsmoke/stall
+	bin/imrun -flight-selftest panic -flight-dir bin/flightsmoke/panic \
+		>/dev/null 2>bin/flightsmoke/panic.log; status=$$?; \
+		test $$status -eq 2 || { echo "flight-smoke: panic selftest exit $$status, want 2"; \
+		cat bin/flightsmoke/panic.log; exit 1; }
+	bin/imrun -flight-selftest stall -flight-dir bin/flightsmoke/stall \
+		>/dev/null 2>bin/flightsmoke/stall.log || \
+		{ cat bin/flightsmoke/stall.log; exit 1; }
+	for d in bin/flightsmoke/panic/*.bundle bin/flightsmoke/stall/*.bundle; do \
+		bin/obsbundle $$d >/dev/null || exit 1; \
+		bin/obsbundle $$d $$d >/dev/null || exit 1; \
+	done
+	@echo "flight-smoke: ok"
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -43,6 +43,7 @@ import (
 	"subsim"
 	"subsim/internal/bench"
 	"subsim/internal/obs"
+	"subsim/internal/obs/flight"
 	"subsim/internal/obs/serve"
 )
 
@@ -63,6 +64,9 @@ func main() {
 	logFmt := flag.String("log", "", "structured run events on stderr: text or json")
 	serveAddr := flag.String("serve", "", "serve the live telemetry plane on this address")
 	pprofAddr := flag.String("pprof", "", "deprecated alias for -serve")
+	flightOn := flag.Bool("flight", true, "enable the flight recorder (journal, history, crash bundles)")
+	flightDir := flag.String("flight-dir", ".", "directory for diagnostic *.bundle directories")
+	stallWindow := flag.Duration("stall-window", 0, "stall-watchdog window (0 = watchdog off)")
 	flag.Parse()
 
 	if *serveAddr == "" && *pprofAddr != "" {
@@ -133,7 +137,7 @@ func main() {
 		cfg.Logger = obs.NewLoggerWriter(os.Stderr, *logFmt, nil)
 	}
 	var tr *obs.Tracer
-	if *tracePath != "" || *metrics || *serveAddr != "" {
+	if *tracePath != "" || *metrics || *serveAddr != "" || *flightOn {
 		tr = obs.NewTracer()
 		tr.EnableTimeline(0)
 		tr.SetMeta("tool", "imbench")
@@ -149,6 +153,27 @@ func main() {
 		tr.SetMeta("estimator", est.String())
 		tr.SetMeta("bound", bnd.String())
 		cfg.Tracer = tr
+	}
+	// Flight recorder: a benchmark sweep that hangs or crashes after
+	// minutes of warm-up leaves a post-mortem bundle instead of nothing.
+	if *flightOn {
+		fl := tr.EnableFlight(obs.FlightConfig{
+			Dir:         *flightDir,
+			Tool:        "imbench",
+			StallWindow: *stallWindow,
+			OnBundle: func(path, reason string, err error) {
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "imbench: flight bundle (%s): %v\n", reason, err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "imbench: flight bundle (%s) written to %s\n", reason, path)
+			},
+		})
+		defer fl.Close()
+		defer fl.CapturePanic()
+		stopSignals := fl.InstallSignalHandlers()
+		defer stopSignals()
+		cfg.Logger = cfg.Logger.WithFlight(fl.Journal().Stream(flight.StreamRun))
 	}
 	var plane *serve.Plane
 	if *serveAddr != "" {

@@ -36,8 +36,19 @@
 //	-log     emit structured run events on stderr: "text" or "json"
 //	-serve   serve the live telemetry plane on this address (e.g. :6060):
 //	         /metrics, /healthz, /readyz, /progress, /report, /timeline,
-//	         /trace (Perfetto-loadable trace-event export), /debug/*
+//	         /trace (Perfetto-loadable trace-event export), /events,
+//	         /debug/bundle, /debug/*
 //	-pprof   deprecated alias for -serve
+//	-flight  always-on flight recorder: black-box event journal,
+//	         runtime-metrics history, and diagnostic bundles on panic,
+//	         SIGQUIT/SIGUSR1, stall, or GET /debug/bundle (default on;
+//	         -flight=false turns the black box off)
+//	-flight-dir    directory for *.bundle diagnostic bundles (default .)
+//	-stall-window  arm the stall watchdog: a bundle is written when an
+//	         active phase makes no progress for this long (0 = off)
+//	-flight-selftest  force a failure to prove the recorder end to end:
+//	         "panic" (crash with a panic bundle, nonzero exit) or "stall"
+//	         (hold a phase idle until the watchdog writes a bundle)
 package main
 
 import (
@@ -46,8 +57,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"subsim"
+	"subsim/internal/obs"
+	"subsim/internal/obs/flight"
 	"subsim/internal/obs/serve"
 	"subsim/internal/seedio"
 )
@@ -100,9 +114,23 @@ func main() {
 	logFmt := flag.String("log", "", "structured run events on stderr: text or json")
 	serveAddr := flag.String("serve", "", "serve the live telemetry plane on this address")
 	pprofAddr := flag.String("pprof", "", "deprecated alias for -serve")
+	flightOn := flag.Bool("flight", true, "enable the flight recorder (journal, history, crash bundles)")
+	flightDir := flag.String("flight-dir", ".", "directory for diagnostic *.bundle directories")
+	stallWindow := flag.Duration("stall-window", 0, "stall-watchdog window (0 = watchdog off)")
+	flightSelftest := flag.String("flight-selftest", "", "force a recorder exercise: panic or stall")
 	flag.Parse()
 
-	if *graphPath == "" {
+	switch *flightSelftest {
+	case "", "panic", "stall":
+	default:
+		fmt.Fprintf(os.Stderr, "imrun: unknown -flight-selftest %q (want panic or stall)\n", *flightSelftest)
+		os.Exit(2)
+	}
+	if *flightSelftest != "" && !*flightOn {
+		fmt.Fprintln(os.Stderr, "imrun: -flight-selftest needs the flight recorder (-flight)")
+		os.Exit(2)
+	}
+	if *graphPath == "" && *flightSelftest == "" {
 		fmt.Fprintln(os.Stderr, "imrun: -graph is required (generate one with graphgen)")
 		os.Exit(2)
 	}
@@ -138,10 +166,12 @@ func main() {
 		opt.Logger = subsim.NewLogger(os.Stderr, *logFmt)
 	}
 
-	// Any observability consumer turns the tracer on; a nil tracer costs
-	// nothing otherwise.
+	// Any observability consumer turns the tracer on — including the
+	// flight recorder, which is on by default: the black box records
+	// whether or not anything is watching. A nil tracer costs nothing
+	// otherwise (-flight=false with no other consumer).
 	var tr *subsim.Tracer
-	if *tracePath != "" || *metrics || *jsonOut || *serveAddr != "" {
+	if *tracePath != "" || *metrics || *jsonOut || *serveAddr != "" || *flightOn {
 		tr = subsim.NewTracer()
 		// The execution timeline powers /trace + /timeline on the plane and
 		// the timeline summary in the run report; recording costs a few
@@ -155,6 +185,48 @@ func main() {
 		tr.SetMeta("estimator", est.String())
 		tr.SetMeta("bound", bnd.String())
 		opt.Tracer = tr
+	}
+
+	// Flight recorder: journal + metrics history always, watchdog when a
+	// stall window is armed, bundles on panic / signal / stall / HTTP.
+	var fl *obs.Flight
+	if *flightOn {
+		window := *stallWindow
+		if *flightSelftest == "stall" && window <= 0 {
+			window = 250 * time.Millisecond
+		}
+		stallBundle := make(chan string, 1)
+		fl = tr.EnableFlight(obs.FlightConfig{
+			Dir:         *flightDir,
+			Tool:        "imrun",
+			StallWindow: window,
+			OnBundle: func(path, reason string, err error) {
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "imrun: flight bundle (%s): %v\n", reason, err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "imrun: flight bundle (%s) written to %s\n", reason, path)
+				if reason == "stall" {
+					select {
+					case stallBundle <- path:
+					default:
+					}
+				}
+			},
+		})
+		defer fl.Close()
+		// LIFO: on a panic CapturePanic writes the bundle first, then
+		// Close stops the background goroutines while the value unwinds.
+		defer fl.CapturePanic()
+		stopSignals := fl.InstallSignalHandlers()
+		defer stopSignals()
+		// Mirror run lifecycle events into the journal even when -log is
+		// off; with -log on, the same logger feeds both sinks.
+		opt.Logger = opt.Logger.WithFlight(fl.Journal().Stream(flight.StreamRun))
+
+		if *flightSelftest != "" {
+			flightSelftestRun(tr, fl, *flightSelftest, window, stallBundle)
+		}
 	}
 
 	// The telemetry plane serves /metrics, /healthz, /readyz, /progress,
@@ -268,6 +340,36 @@ func main() {
 			fmt.Printf("wrote %s\n", *out)
 		}
 	}
+}
+
+// flightSelftestRun forces a recorder-visible failure so operators (and
+// make flight-smoke) can prove the black box end to end without waiting
+// for a real incident. "panic" crashes through the deferred CapturePanic
+// (panic bundle on disk, nonzero exit); "stall" holds a span open with
+// no progress until the watchdog fires and writes a stall bundle, then
+// exits 0. Never returns.
+func flightSelftestRun(tr *subsim.Tracer, fl *obs.Flight, mode string, window time.Duration, stallBundle <-chan string) {
+	sp := tr.Span("flight-selftest")
+	switch mode {
+	case "panic":
+		panic("flight selftest: forced panic")
+	case "stall":
+		// The open span marks the phase active; emitting nothing further
+		// starves the watchdog's progress signal.
+		select {
+		case path := <-stallBundle:
+			sp.End()
+			fmt.Printf("flight selftest: stall bundle %s\n", path)
+			fl.Close()
+			os.Exit(0)
+		case <-time.After(20*window + 10*time.Second):
+			sp.End()
+			fmt.Fprintln(os.Stderr, "imrun: flight selftest: watchdog never fired")
+			fl.Close()
+			os.Exit(1)
+		}
+	}
+	panic("unreachable")
 }
 
 func printHuman(g *subsim.Graph, alg subsim.Algorithm, res *subsim.Result, k int, eps float64, spread *float64, mc int) {

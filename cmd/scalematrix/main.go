@@ -211,17 +211,19 @@ func main() {
 		benchLabel  = flag.String("bench-label", "scale-matrix", "label for the -bench-file run")
 		reportPath  = flag.String("report", "", "write an obs run report (one span per cell) to this file")
 		tracePath   = flag.String("trace", "", "write the last cell's timeline as Chrome trace-event JSON (Perfetto)")
+		flightDir   = flag.String("flight-dir", ".", "directory for diagnostic *.bundle directories (-flight-dir '' disables the flight recorder)")
+		stallWindow = flag.Duration("stall-window", 0, "stall-watchdog window (0 = watchdog off)")
 	)
 	flag.Parse()
 	if err := run(*graphsFlag, *gensFlag, *estFlag, *workersFlag, *trials, *sets, *rounds, *k, *seed,
-		*jsonPath, *benchFile, *benchLabel, *reportPath, *tracePath); err != nil {
+		*jsonPath, *benchFile, *benchLabel, *reportPath, *tracePath, *flightDir, *stallWindow); err != nil {
 		fmt.Fprintln(os.Stderr, "scalematrix:", err)
 		os.Exit(1)
 	}
 }
 
 func run(graphsFlag, gensFlag, estFlag, workersFlag string, trials, sets, rounds, k int, seed uint64,
-	jsonPath, benchFile, benchLabel, reportPath, tracePath string) error {
+	jsonPath, benchFile, benchLabel, reportPath, tracePath, flightDir string, stallWindow time.Duration) error {
 	var specs []graphSpec
 	for _, s := range strings.Split(graphsFlag, ",") {
 		spec, err := parseGraphSpec(strings.TrimSpace(s))
@@ -276,6 +278,28 @@ func run(graphsFlag, gensFlag, estFlag, workersFlag string, trials, sets, rounds
 	matrixTr.SetMeta("estimators", estFlag)
 	if caveat != "" {
 		matrixTr.SetMeta("caveat", caveat)
+	}
+	// Flight recorder on the matrix-level tracer: a sweep that panics or
+	// stalls deep into the matrix leaves a bundle with the per-cell span
+	// journal instead of a bare stack trace. Per-cell tracers stay fresh
+	// (see runCell); only the session-level black box is global.
+	if flightDir != "" {
+		fl := matrixTr.EnableFlight(obs.FlightConfig{
+			Dir:         flightDir,
+			Tool:        "scalematrix",
+			StallWindow: stallWindow,
+			OnBundle: func(path, reason string, err error) {
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "scalematrix: flight bundle (%s): %v\n", reason, err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "scalematrix: flight bundle (%s) written to %s\n", reason, path)
+			},
+		})
+		defer fl.Close()
+		defer fl.CapturePanic()
+		stopSignals := fl.InstallSignalHandlers()
+		defer stopSignals()
 	}
 
 	doc := resultDoc{

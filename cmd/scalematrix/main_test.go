@@ -206,7 +206,7 @@ func TestRunTinyMatrix(t *testing.T) {
 	reportPath := filepath.Join(dir, "report.json")
 	tracePath := filepath.Join(dir, "trace.json")
 	err := run("pa:500x4", "subsim", "exact,hll,sharded", "1,2", 1, 600, 2, 5, 7,
-		jsonPath, filepath.Join(dir, "bench.json"), "tiny", reportPath, tracePath)
+		jsonPath, filepath.Join(dir, "bench.json"), "tiny", reportPath, tracePath, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

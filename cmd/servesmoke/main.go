@@ -8,9 +8,11 @@
 //  3. assert every plane endpoint answers 200 (and /readyz flips from
 //     graph readiness), that subsim_rr_sets_total is present, parseable
 //     and strictly increases across scrapes of the live run, that
-//     /progress reports a non-empty phase mid-run, and that /trace
-//     serves a well-formed trace-event document with complete events
-//     on a named worker track,
+//     /progress reports a non-empty phase mid-run, that /trace serves a
+//     well-formed trace-event document with complete events on a named
+//     worker track, that /events serves a schema-versioned flight
+//     journal carrying run events, and that GET /debug/bundle writes a
+//     complete diagnostic bundle whose manifest validates on disk,
 //  4. capture /report and check `obsdiff report report` exits 0
 //     (self-compare is clean) while the committed regressed fixture
 //     pair exits 1 (the gate actually fails on regressions),
@@ -56,7 +58,7 @@ func run() int {
 	flag.StringVar(&t.graphgen, "graphgen", "bin/graphgen", "graphgen binary")
 	flag.StringVar(&t.imrun, "imrun", "bin/imrun", "imrun binary")
 	flag.StringVar(&t.obsdiff, "obsdiff", "bin/obsdiff", "obsdiff binary")
-	fixtures := flag.String("fixtures", "cmd/obsdiff/testdata", "dir with base.json/regressed.json")
+	fixtures := flag.String("fixtures", "internal/obsdiff/testdata", "dir with base.json/regressed.json")
 	timeout := flag.Duration("timeout", 60*time.Second, "overall deadline")
 	flag.Parse()
 
@@ -94,7 +96,8 @@ func smoke(t tools, dir, fixtures string, deadline time.Time) error {
 	// 2. Long-lived imrun with the plane on an ephemeral port.
 	imrun := exec.Command(t.imrun,
 		"-graph", graph, "-alg", "opimc", "-k", "20", "-eps", "0.3",
-		"-mc", "0", "-repeat", "400", "-serve", "127.0.0.1:0")
+		"-mc", "0", "-repeat", "400", "-serve", "127.0.0.1:0",
+		"-flight-dir", dir)
 	stderr, err := imrun.StderrPipe()
 	if err != nil {
 		return err
@@ -126,7 +129,7 @@ func smoke(t tools, dir, fixtures string, deadline time.Time) error {
 	if err := waitReady(base, deadline); err != nil {
 		return err
 	}
-	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/progress", "/progress?spans=1", "/report", "/timeline", "/debug/vars"} {
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/progress", "/progress?spans=1", "/report", "/timeline", "/debug/vars", "/events"} {
 		if _, err := get(base+path, http.StatusOK); err != nil {
 			return err
 		}
@@ -139,6 +142,12 @@ func smoke(t tools, dir, fixtures string, deadline time.Time) error {
 		return err
 	}
 	if err := checkTrace(base); err != nil {
+		return err
+	}
+	if err := checkEvents(base, deadline); err != nil {
+		return err
+	}
+	if err := checkBundle(base); err != nil {
 		return err
 	}
 
@@ -177,7 +186,8 @@ func smokeSketch(t tools, graph string, deadline time.Time) error {
 	imrun := exec.Command(t.imrun,
 		"-graph", graph, "-alg", "opimc", "-k", "20", "-eps", "0.3",
 		"-estimator", "hll", "-bound", "tight",
-		"-mc", "0", "-repeat", "400", "-serve", "127.0.0.1:0")
+		"-mc", "0", "-repeat", "400", "-serve", "127.0.0.1:0",
+		"-flight-dir", filepath.Dir(graph))
 	stderr, err := imrun.StderrPipe()
 	if err != nil {
 		return err
@@ -409,6 +419,101 @@ func checkTrace(base string) error {
 	}
 	if !workerTrack {
 		return fmt.Errorf("/trace names no worker track")
+	}
+	return nil
+}
+
+// checkEvents polls the flight journal endpoint until it reports run
+// events, validating the schema envelope and the ?n= tail contract.
+func checkEvents(base string, deadline time.Time) error {
+	for time.Now().Before(deadline) {
+		body, err := get(base+"/events?n=4", http.StatusOK)
+		if err != nil {
+			return err
+		}
+		var doc struct {
+			Schema  string `json:"schema"`
+			Version int    `json:"version"`
+			Written int64  `json:"written"`
+			Events  []struct {
+				Kind string `json:"kind"`
+			} `json:"events"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return fmt.Errorf("/events is not JSON: %v", err)
+		}
+		if doc.Schema != "subsim.flight-journal" || doc.Version != 1 {
+			return fmt.Errorf("/events envelope = %q v%d", doc.Schema, doc.Version)
+		}
+		if len(doc.Events) > 4 {
+			return fmt.Errorf("/events?n=4 returned %d events", len(doc.Events))
+		}
+		if doc.Written > 0 && len(doc.Events) > 0 {
+			for _, ev := range doc.Events {
+				if ev.Kind == "" || ev.Kind == "none" {
+					return fmt.Errorf("/events carries an untyped event: %s", body)
+				}
+			}
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("/events never showed journal events mid-run")
+}
+
+// checkBundle triggers a diagnostic bundle over HTTP and validates the
+// returned manifest shape against the bundle on disk: schema-versioned,
+// reason "http", and every artifact present without producer errors.
+func checkBundle(base string) error {
+	body, err := get(base+"/debug/bundle", http.StatusOK)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Path    string `json:"path"`
+		Schema  string `json:"schema"`
+		Version int    `json:"version"`
+		Reason  string `json:"reason"`
+		Files   []struct {
+			Name  string `json:"name"`
+			Bytes int64  `json:"bytes"`
+			Error string `json:"error"`
+		} `json:"files"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("/debug/bundle is not JSON: %v", err)
+	}
+	if doc.Schema != "subsim.flight-bundle" || doc.Version != 1 {
+		return fmt.Errorf("/debug/bundle envelope = %q v%d", doc.Schema, doc.Version)
+	}
+	if doc.Reason != "http" {
+		return fmt.Errorf("/debug/bundle reason = %q, want http", doc.Reason)
+	}
+	want := map[string]bool{
+		"report.json": false, "spans.json": false, "trace.json": false,
+		"metrics.prom": false, "journal.json": false, "history.json": false,
+		"goroutines.txt": false, "heap.pprof": false,
+	}
+	for _, f := range doc.Files {
+		if f.Error != "" {
+			return fmt.Errorf("bundle artifact %s failed: %s", f.Name, f.Error)
+		}
+		if _, ok := want[f.Name]; ok {
+			want[f.Name] = true
+		}
+		if fi, err := os.Stat(filepath.Join(doc.Path, f.Name)); err != nil {
+			return fmt.Errorf("bundle artifact %s missing on disk: %v", f.Name, err)
+		} else if fi.Size() != f.Bytes {
+			return fmt.Errorf("bundle artifact %s: manifest says %d bytes, disk has %d", f.Name, f.Bytes, fi.Size())
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			return fmt.Errorf("bundle manifest missing artifact %s", name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(doc.Path, "manifest.json")); err != nil {
+		return fmt.Errorf("bundle manifest.json missing on disk: %v", err)
 	}
 	return nil
 }

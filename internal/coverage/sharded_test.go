@@ -2,6 +2,7 @@ package coverage
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"subsim/internal/obs/timeline"
@@ -308,8 +309,8 @@ func TestShardedReduceVisibleInTimeline(t *testing.T) {
 	r := rng.New(71)
 	sets := randomSets(r, 80, 600, 10)
 	x := NewSharded(80, nil, 4)
-	var now int64
-	tl := timeline.New(1024, func() int64 { now += 1000; return now })
+	var now atomic.Int64
+	tl := timeline.New(1024, func() int64 { return now.Add(1000) })
 	x.SetTimeline(tl)
 	for _, s := range sets {
 		x.Add(rrset.RRSet(s))

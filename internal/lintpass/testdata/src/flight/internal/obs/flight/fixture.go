@@ -1,0 +1,102 @@
+// Package flight is the golden fixture for the flight-recorder lint
+// extensions: the directory suffix internal/obs/flight makes Recorder,
+// Journal, History, Watchdog and Sampler tracked under the nil-tracer
+// contract, and the hotpath-alloc analyzer requires every
+// Recorder.Emit call in a //subsim:hotpath function to sit under a nil
+// guard on the receiver.
+package flight
+
+// Recorder is the fixture stand-in for one single-writer journal stream.
+type Recorder struct {
+	cursor uint64
+}
+
+// Journal is the fixture stand-in for the stream owner.
+type Journal struct {
+	streams []*Recorder
+}
+
+// History is the fixture stand-in for the runtime-metrics ring.
+type History struct {
+	written uint64
+}
+
+// Emit is nil-safe like the real recorder: guarded before the write.
+func (r *Recorder) Emit(kind uint8, label string, a, b int64) {
+	if r == nil {
+		return
+	}
+	r.cursor++
+}
+
+// Written reads the cursor with no guard: the nil-tracer contract
+// violation on the new Recorder type.
+func Written(r *Recorder) uint64 {
+	return r.cursor // want `access to field cursor`
+}
+
+// Stream indexes the stream vector before any nil check.
+func (j *Journal) Stream(i int) *Recorder {
+	return j.streams[i] // want `access to field streams`
+}
+
+// StreamSafe is the guarded version: no finding.
+func StreamSafe(j *Journal, i int) *Recorder {
+	if j == nil || i >= len(j.streams) {
+		return nil
+	}
+	return j.streams[i]
+}
+
+// Samples uses the idiomatic single-line short-circuit guard on the
+// history ring: the right operand only evaluates when h is non-nil.
+func (h *History) Samples() uint64 {
+	if h == nil || h.written == 0 {
+		return 0
+	}
+	return h.written
+}
+
+// gen is the instrumented-worker stand-in for the hot-path checks.
+type gen struct {
+	rec  *Recorder
+	sets int64
+}
+
+// GenerateInto mirrors the journal-aware hot path: the Emit call sits
+// under the `if g.rec != nil` guard, so the disabled path skips
+// journaling entirely. No findings.
+//
+//subsim:hotpath
+func (g *gen) GenerateInto(n int) {
+	g.sets += int64(n)
+	if g.rec != nil {
+		g.rec.Emit(1, "round", g.sets, 0)
+	}
+}
+
+// hoisted re-binds the guarded recorder to a local inside the guard;
+// the local inherits the guard.
+//
+//subsim:hotpath
+func (g *gen) hoisted() {
+	if g.rec != nil {
+		r := g.rec
+		r.Emit(1, "", 0, 0)
+	}
+}
+
+// unguarded journals without the guard: flagged even though Emit is
+// nil-safe — a hot loop must not pay a method call per set on the
+// disabled path.
+//
+//subsim:hotpath
+func (g *gen) unguarded() {
+	g.rec.Emit(1, "", g.sets, 0) // want `flight g.rec.Emit in hot-path function unguarded`
+}
+
+// cold performs the same unguarded call without the hotpath marker:
+// the discipline is scoped to annotated functions.
+func (g *gen) cold() {
+	g.rec.Emit(1, "", 0, 0)
+}

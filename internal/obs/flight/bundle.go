@@ -1,0 +1,206 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// BundleSchema / BundleVersion identify the manifest of an on-disk
+// diagnostic bundle. A bundle is one directory named
+// <timestamp>-<reason>.bundle containing one file per producer plus
+// manifest.json, written last so a complete manifest implies a complete
+// bundle.
+const (
+	BundleSchema  = "subsim.flight-bundle"
+	BundleVersion = 1
+)
+
+// ManifestName is the manifest's file name inside a bundle directory.
+const ManifestName = "manifest.json"
+
+// BundleFile is one manifest entry. A producer that failed (or panicked)
+// still gets an entry, with Error set — a crash dump must survive its
+// own producers misbehaving, so one broken artifact never voids the
+// bundle.
+type BundleFile struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+	Error string `json:"error,omitempty"`
+}
+
+// Manifest is the bundle's self-description, written as manifest.json.
+type Manifest struct {
+	Schema    string       `json:"schema"`
+	Version   int          `json:"version"`
+	Tool      string       `json:"tool,omitempty"`
+	Reason    string       `json:"reason"`
+	CreatedNS int64        `json:"created_unix_ns"`
+	Files     []BundleFile `json:"files"`
+}
+
+// Producer writes one bundle artifact. Write receives the artifact's
+// file and reports any production error; the bundle writer recovers
+// producer panics, so a Producer may be handed live data structures
+// mid-crash.
+type Producer struct {
+	Name  string
+	Write func(io.Writer) error
+}
+
+// sanitizeReason maps a free-form trigger reason onto a safe directory
+// name component.
+func sanitizeReason(reason string) string {
+	if reason == "" {
+		return "manual"
+	}
+	var b strings.Builder
+	for _, r := range reason {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			_, _ = b.WriteRune(r) // strings.Builder never errors
+		default:
+			_, _ = b.WriteRune('-')
+		}
+	}
+	return b.String()
+}
+
+// BundleDirName returns the directory name for a bundle created at now
+// for the given reason: 20060102T150405.000000000Z-<reason>.bundle. The
+// *.bundle suffix is what .gitignore and artifact-upload globs key on.
+func BundleDirName(now time.Time, reason string) string {
+	return now.UTC().Format("20060102T150405.000000000Z") + "-" + sanitizeReason(reason) + ".bundle"
+}
+
+// WriteBundle writes one diagnostic bundle under dir (created if
+// missing; "" means the current directory) and returns the bundle
+// directory's path. Producer failures are recorded in the manifest
+// rather than aborting — only an unwritable destination fails the whole
+// bundle. now stamps the manifest and the directory name; tests inject a
+// fixed time for byte-stable golden manifests.
+func WriteBundle(dir, tool, reason string, now time.Time, producers []Producer) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	bundleDir := filepath.Join(dir, BundleDirName(now, reason))
+	if err := os.MkdirAll(bundleDir, 0o755); err != nil {
+		return "", fmt.Errorf("flight: create bundle dir: %w", err)
+	}
+	man := Manifest{
+		Schema:    BundleSchema,
+		Version:   BundleVersion,
+		Tool:      tool,
+		Reason:    reason,
+		CreatedNS: now.UnixNano(),
+		Files:     make([]BundleFile, 0, len(producers)),
+	}
+	for _, p := range producers {
+		entry := BundleFile{Name: p.Name}
+		if err := writeArtifact(filepath.Join(bundleDir, p.Name), p.Write); err != nil {
+			entry.Error = err.Error()
+		} else if fi, err := os.Stat(filepath.Join(bundleDir, p.Name)); err == nil {
+			entry.Bytes = fi.Size()
+		}
+		man.Files = append(man.Files, entry)
+	}
+	f, err := os.Create(filepath.Join(bundleDir, ManifestName))
+	if err != nil {
+		return "", fmt.Errorf("flight: write manifest: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(man); err != nil {
+		_ = f.Close()
+		return "", fmt.Errorf("flight: encode manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("flight: close manifest: %w", err)
+	}
+	return bundleDir, nil
+}
+
+// writeArtifact runs one producer against its destination file,
+// containing panics: a producer handed a live data structure mid-crash
+// must not take the bundle down with it.
+func writeArtifact(path string, write func(io.Writer) error) (err error) {
+	f, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("producer panicked: %v", r)
+		}
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return write(f)
+}
+
+// ReadManifest loads and validates the manifest of a bundle directory.
+func ReadManifest(bundleDir string) (Manifest, error) {
+	var man Manifest
+	raw, err := os.ReadFile(filepath.Join(bundleDir, ManifestName))
+	if err != nil {
+		return man, err
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return man, fmt.Errorf("flight: parse %s: %w", ManifestName, err)
+	}
+	if man.Schema != BundleSchema {
+		return man, fmt.Errorf("flight: %s has schema %q, want %q", bundleDir, man.Schema, BundleSchema)
+	}
+	if man.Version != BundleVersion {
+		return man, fmt.Errorf("flight: %s has schema version %d, want %d", bundleDir, man.Version, BundleVersion)
+	}
+	return man, nil
+}
+
+// File returns the manifest entry for name, if present.
+func (m Manifest) File(name string) (BundleFile, bool) {
+	for _, f := range m.Files {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return BundleFile{}, false
+}
+
+// ListBundles returns the bundle directories under dir, sorted by name
+// (which is creation-time order, given the timestamp prefix).
+func ListBundles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasSuffix(e.Name(), ".bundle") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ProfileProducers returns the pprof artifacts every bundle carries: the
+// full goroutine dump (text, debug=2 — the same view a SIGQUIT crash
+// prints) and the heap profile (binary pprof format).
+func ProfileProducers() []Producer {
+	return []Producer{
+		{Name: "goroutines.txt", Write: func(w io.Writer) error {
+			return pprof.Lookup("goroutine").WriteTo(w, 2)
+		}},
+		{Name: "heap.pprof", Write: func(w io.Writer) error {
+			return pprof.Lookup("heap").WriteTo(w, 0)
+		}},
+	}
+}

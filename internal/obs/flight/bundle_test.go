@@ -1,0 +1,168 @@
+package flight
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// bundleNow is the fake wall clock for golden bundles: a fixed instant
+// keeps the directory name and manifest byte-stable.
+var bundleNow = time.Date(2026, 1, 2, 3, 4, 5, 678900000, time.UTC)
+
+func testProducers() []Producer {
+	return []Producer{
+		{Name: "report.json", Write: func(w io.Writer) error {
+			_, err := io.WriteString(w, "{\"ok\":true}\n")
+			return err
+		}},
+		{Name: "broken.json", Write: func(w io.Writer) error {
+			return errors.New("synthetic failure")
+		}},
+		{Name: "panicky.bin", Write: func(w io.Writer) error {
+			panic("mid-crash data structure")
+		}},
+	}
+}
+
+func TestWriteBundleGoldenManifest(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteBundle(dir, "flighttest", "test reason", bundleNow, testProducers())
+	if err != nil {
+		t.Fatalf("WriteBundle: %v", err)
+	}
+	wantDir := filepath.Join(dir, "20260102T030405.678900000Z-test-reason.bundle")
+	if path != wantDir {
+		t.Fatalf("bundle dir = %s, want %s", path, wantDir)
+	}
+	raw, err := os.ReadFile(filepath.Join(path, ManifestName))
+	if err != nil {
+		t.Fatalf("read manifest: %v", err)
+	}
+	golden := fmt.Sprintf(`{
+  "schema": "subsim.flight-bundle",
+  "version": 1,
+  "tool": "flighttest",
+  "reason": "test reason",
+  "created_unix_ns": %d,
+  "files": [
+    {
+      "name": "report.json",
+      "bytes": 12
+    },
+    {
+      "name": "broken.json",
+      "bytes": 0,
+      "error": "synthetic failure"
+    },
+    {
+      "name": "panicky.bin",
+      "bytes": 0,
+      "error": "producer panicked: mid-crash data structure"
+    }
+  ]
+}
+`, bundleNow.UnixNano())
+	if string(raw) != golden {
+		t.Errorf("manifest.json diverges from golden:\n--- got ---\n%s--- want ---\n%s", raw, golden)
+	}
+
+	// The successful artifact carries its content; the failed producers
+	// still left entries (and files) behind without voiding the bundle.
+	body, err := os.ReadFile(filepath.Join(path, "report.json"))
+	if err != nil || string(body) != "{\"ok\":true}\n" {
+		t.Errorf("report.json = %q, %v", body, err)
+	}
+	man, err := ReadManifest(path)
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if f, ok := man.File("panicky.bin"); !ok || f.Error == "" {
+		t.Errorf("panicking producer entry = %+v, %v", f, ok)
+	}
+	if _, ok := man.File("no-such-artifact"); ok {
+		t.Error("File must miss on unknown names")
+	}
+}
+
+func TestReadManifestValidates(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("missing manifest must error")
+	}
+	write := func(body string) {
+		if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("{not json")
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("malformed manifest must error")
+	}
+	write(`{"schema":"other.schema","version":1,"reason":"x","created_unix_ns":1,"files":[]}`)
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("wrong schema must error")
+	}
+	write(`{"schema":"subsim.flight-bundle","version":99,"reason":"x","created_unix_ns":1,"files":[]}`)
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("wrong version must error")
+	}
+}
+
+func TestListBundles(t *testing.T) {
+	dir := t.TempDir()
+	second, err := WriteBundle(dir, "t", "later", bundleNow.Add(time.Hour), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := WriteBundle(dir, "t", "earlier", bundleNow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise that must be ignored: a regular file and a non-bundle dir.
+	if err := os.WriteFile(filepath.Join(dir, "stray.bundle"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "not-a-bundle"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ListBundles(dir)
+	if err != nil {
+		t.Fatalf("ListBundles: %v", err)
+	}
+	if len(got) != 2 || got[0] != first || got[1] != second {
+		t.Errorf("ListBundles = %v, want [%s %s] (creation order)", got, first, second)
+	}
+}
+
+func TestSanitizeReason(t *testing.T) {
+	cases := map[string]string{
+		"":              "manual",
+		"panic":         "panic",
+		"GET /debug":    "GET--debug",
+		"α stall/panic": "--stall-panic",
+		"ok_name-9":     "ok_name-9",
+	}
+	for in, want := range cases {
+		if got := sanitizeReason(in); got != want {
+			t.Errorf("sanitizeReason(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestProfileProducers(t *testing.T) {
+	for _, p := range ProfileProducers() {
+		var buf bytes.Buffer
+		if err := p.Write(&buf); err != nil {
+			t.Errorf("%s producer: %v", p.Name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s producer wrote nothing", p.Name)
+		}
+	}
+}

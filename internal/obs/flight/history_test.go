@@ -1,0 +1,160 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	rtm "runtime/metrics"
+	"testing"
+	"time"
+)
+
+func TestHistoryNil(t *testing.T) {
+	var h *History
+	h.Sample() // must not panic
+	if h.Written() != 0 || h.SeriesNames() != nil {
+		t.Error("nil history accessors must return zero")
+	}
+	snap := h.Snapshot()
+	if snap.Written != 0 || len(snap.Samples) != 0 {
+		t.Errorf("nil history snapshot = %+v, want zero", snap)
+	}
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil history WriteJSON: %v", err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Version int    `json:"version"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("parse empty history doc: %v", err)
+	}
+	if doc.Schema != HistorySchema || doc.Version != HistoryVersion {
+		t.Errorf("envelope = %q v%d", doc.Schema, doc.Version)
+	}
+	if h.StartSampler(time.Millisecond) != nil {
+		t.Error("nil history must return a nil (disabled) sampler")
+	}
+	var s *Sampler
+	s.Stop() // nil-safe
+}
+
+func TestHistoryRecordAndWraparound(t *testing.T) {
+	h := NewHistory(4, fakeClock(100))
+	series := len(h.SeriesNames())
+	vals := make([]float64, series)
+	const total = 7
+	for i := 0; i < total; i++ {
+		for k := range vals {
+			vals[k] = float64(i*10 + k)
+		}
+		h.record(h.clock(), vals)
+	}
+	snap := h.Snapshot()
+	if snap.Written != total || snap.Dropped != total-4 {
+		t.Fatalf("written %d dropped %d, want %d / %d", snap.Written, snap.Dropped, total, total-4)
+	}
+	if len(snap.Samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(snap.Samples))
+	}
+	// Oldest survivor is logical sample 3 (fake clock: sample i stamped
+	// (i+1)*100).
+	first := snap.Samples[0]
+	if first.TimeNS != 400 {
+		t.Errorf("oldest survivor time = %d, want 400", first.TimeNS)
+	}
+	for k, v := range first.Values {
+		if v != float64(30+k) {
+			t.Errorf("survivor value[%d] = %g, want %d", k, v, 30+k)
+		}
+	}
+	for i := 1; i < len(snap.Samples); i++ {
+		if snap.Samples[i].TimeNS <= snap.Samples[i-1].TimeNS {
+			t.Fatalf("samples not time-ordered at %d", i)
+		}
+	}
+}
+
+func TestHistorySampleReadsRuntime(t *testing.T) {
+	h := NewHistory(16, nil)
+	h.Sample()
+	snap := h.Snapshot()
+	if len(snap.Samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(snap.Samples))
+	}
+	names := h.SeriesNames()
+	byName := map[string]float64{}
+	for i, v := range snap.Samples[0].Values {
+		byName[names[i]] = v
+	}
+	if byName["goroutines"] < 1 {
+		t.Errorf("goroutines = %g, want >= 1", byName["goroutines"])
+	}
+	if byName["heap_objects_bytes"] <= 0 || byName["memory_total_bytes"] <= 0 {
+		t.Errorf("memory series not populated: %+v", byName)
+	}
+}
+
+// TestHistorySampleAllocFree is the sampler half of the test-alloc gate:
+// after the first Sample populates the runtime/metrics scratch (histogram
+// buffers included), subsequent samples must not allocate.
+func TestHistorySampleAllocFree(t *testing.T) {
+	h := NewHistory(64, nil)
+	h.Sample()
+	h.Sample()
+	allocs := testing.AllocsPerRun(100, h.Sample)
+	if allocs != 0 {
+		t.Fatalf("Sample allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	h := NewHistory(64, nil)
+	s := h.StartSampler(2 * time.Millisecond)
+	if s == nil {
+		t.Fatal("StartSampler returned nil for a live history")
+	}
+	if h.Written() < 1 {
+		t.Error("StartSampler must take an immediate first sample")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Written() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if h.Written() < 3 {
+		t.Fatalf("sampler recorded %d samples in 5s, want >= 3", h.Written())
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	n := h.Written()
+	time.Sleep(10 * time.Millisecond)
+	if h.Written() != n {
+		t.Error("sampler kept writing after Stop")
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	hist := &rtm.Float64Histogram{
+		Counts:  []uint64{90, 9, 1},
+		Buckets: []float64{0, 1e-6, 1e-3, math.Inf(1)},
+	}
+	if got := histQuantile(hist, 0.5); got != 1e-6 {
+		t.Errorf("p50 = %g, want 1e-6", got)
+	}
+	if got := histQuantile(hist, 0.95); got != 1e-3 {
+		t.Errorf("p95 = %g, want 1e-3", got)
+	}
+	// p99+ lands in the infinite bucket: fall back to its finite lower
+	// edge rather than reporting +Inf.
+	if got := histQuantile(hist, 0.999); got != 1e-3 {
+		t.Errorf("p99.9 = %g, want finite fallback 1e-3", got)
+	}
+	if got := histQuantile(nil, 0.99); got != 0 {
+		t.Errorf("nil histogram quantile = %g, want 0", got)
+	}
+	empty := &rtm.Float64Histogram{Counts: []uint64{0, 0}, Buckets: []float64{0, 1, 2}}
+	if got := histQuantile(empty, 0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+}

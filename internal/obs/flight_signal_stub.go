@@ -1,0 +1,10 @@
+//go:build !unix
+
+package obs
+
+// InstallSignalHandlers is a no-op on platforms without SIGQUIT/SIGUSR1
+// (the unix build has the real implementation). Bundles remain reachable
+// through the watchdog, panic capture, and GET /debug/bundle.
+func (f *Flight) InstallSignalHandlers() (stop func()) {
+	return func() {}
+}

@@ -1,0 +1,57 @@
+//go:build unix
+
+package obs
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime/pprof"
+	"syscall"
+)
+
+// InstallSignalHandlers wires the flight recorder to the two post-mortem
+// signals on unix hosts:
+//
+//   - SIGUSR1 writes a diagnostic bundle and keeps running — the
+//     operator's "what is this run doing?" probe against a live process.
+//   - SIGQUIT writes a bundle, prints the full goroutine dump to stderr
+//     (preserving the runtime's default SIGQUIT behaviour as closely as
+//     an intercepted signal can), and exits with status 131 (128+SIGQUIT).
+//
+// The returned stop function detaches the handlers (nil-safe: a disabled
+// recorder installs nothing and returns a no-op).
+func (f *Flight) InstallSignalHandlers() (stop func()) {
+	if f == nil {
+		return func() {}
+	}
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGQUIT, syscall.SIGUSR1)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case sig := <-ch:
+				reason := "sigusr1"
+				if sig == syscall.SIGQUIT {
+					reason = "sigquit"
+				}
+				// Success is reported through cfg.OnBundle (the CLIs all log
+				// there); only a failed write warrants its own noise.
+				if _, err := f.WriteBundle(reason); err != nil {
+					fmt.Fprintf(os.Stderr, "flight: %s bundle failed: %v\n", reason, err)
+				}
+				if sig == syscall.SIGQUIT {
+					_ = pprof.Lookup("goroutine").WriteTo(os.Stderr, 2)
+					os.Exit(131)
+				}
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -3,6 +3,8 @@ package obs
 import (
 	"io"
 	"log/slog"
+
+	"subsim/internal/obs/flight"
 )
 
 // Logger is the nil-safe structured event logger of the observability
@@ -19,8 +21,13 @@ import (
 // Algorithms emit one round.done per doubling round and one
 // bound.crossed when the certified ratio clears the stopping target —
 // quiet by default (nil logger), one line per round when enabled.
+// A Logger may additionally carry a flight-journal recorder (see
+// WithFlight): every typed emitter then mirrors its event into the
+// black-box journal, so the run's event stream survives in crash bundles
+// even when slog output is disabled.
 type Logger struct {
-	sl *slog.Logger
+	sl  *slog.Logger
+	rec *flight.Recorder
 }
 
 // NewLogger wraps an slog handler. A nil handler returns a nil (i.e.
@@ -46,12 +53,29 @@ func NewLoggerWriter(w io.Writer, format string, level slog.Leveler) *Logger {
 	return NewLogger(slog.NewTextHandler(w, opts))
 }
 
-// Slog exposes the underlying slog.Logger (nil for a disabled logger).
+// Slog exposes the underlying slog.Logger (nil for a disabled logger or
+// a journal-only logger built by WithFlight on a nil base).
 func (l *Logger) Slog() *slog.Logger {
 	if l == nil {
 		return nil
 	}
 	return l.sl
+}
+
+// WithFlight returns a logger that mirrors every typed event into the
+// given journal recorder in addition to any slog output. On a nil base
+// logger the result is journal-only (no slog), so enabling the flight
+// recorder never forces log output on; a nil recorder returns l
+// unchanged. The recorder must belong to the emitting goroutine's
+// stream (the coordinator loop), per the flight single-writer contract.
+func (l *Logger) WithFlight(rec *flight.Recorder) *Logger {
+	if rec == nil {
+		return l
+	}
+	if l == nil {
+		return &Logger{rec: rec}
+	}
+	return &Logger{sl: l.sl, rec: rec}
 }
 
 // With returns a logger whose records carry the extra attributes, or nil
@@ -60,14 +84,17 @@ func (l *Logger) With(args ...any) *Logger {
 	if l == nil {
 		return nil
 	}
-	return &Logger{sl: l.sl.With(args...)}
+	if l.sl == nil {
+		return l
+	}
+	return &Logger{sl: l.sl.With(args...), rec: l.rec}
 }
 
 // Event emits a generic info-level record. Not for hot paths: the
 // variadic args box even when unused — use the typed emitters below
 // anywhere performance matters.
 func (l *Logger) Event(msg string, args ...any) {
-	if l == nil {
+	if l == nil || l.sl == nil {
 		return
 	}
 	l.sl.Info(msg, args...)
@@ -76,6 +103,10 @@ func (l *Logger) Event(msg string, args ...any) {
 // RunStart records the parameters of one algorithm run.
 func (l *Logger) RunStart(alg string, n int, m int64, k int, eps float64, seed uint64, workers int) {
 	if l == nil {
+		return
+	}
+	l.rec.Emit(flight.KindRunStart, alg, int64(n), m, float64(k), eps, float64(workers))
+	if l.sl == nil {
 		return
 	}
 	l.sl.Info("run.start",
@@ -95,6 +126,10 @@ func (l *Logger) RoundDone(alg string, round int, theta int64, lower, upper, app
 	if l == nil {
 		return
 	}
+	l.rec.Emit(flight.KindRoundDone, alg, int64(round), theta, lower, upper, approx)
+	if l.sl == nil {
+		return
+	}
 	l.sl.Info("round.done",
 		slog.String("alg", alg),
 		slog.Int("round", round),
@@ -110,6 +145,10 @@ func (l *Logger) BoundCrossed(alg string, round int, approx, target float64) {
 	if l == nil {
 		return
 	}
+	l.rec.Emit(flight.KindBoundCrossed, alg, int64(round), 0, approx, target, 0)
+	if l.sl == nil {
+		return
+	}
 	l.sl.Info("bound.crossed",
 		slog.String("alg", alg),
 		slog.Int("round", round),
@@ -123,6 +162,10 @@ func (l *Logger) PhaseDone(alg, phase string, durNS int64) {
 	if l == nil {
 		return
 	}
+	l.rec.Emit(flight.KindPhaseDone, phase, durNS, 0, 0, 0, 0)
+	if l.sl == nil {
+		return
+	}
 	l.sl.Info("phase.done",
 		slog.String("alg", alg),
 		slog.String("phase", phase),
@@ -132,6 +175,10 @@ func (l *Logger) PhaseDone(alg, phase string, durNS int64) {
 // RunDone records the completion of one run.
 func (l *Logger) RunDone(alg string, rounds int, sets int64, influence float64, elapsedNS int64) {
 	if l == nil {
+		return
+	}
+	l.rec.Emit(flight.KindRunDone, alg, int64(rounds), sets, influence, float64(elapsedNS), 0)
+	if l.sl == nil {
 		return
 	}
 	l.sl.Info("run.done",

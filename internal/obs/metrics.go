@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"subsim/internal/obs/flight"
 	"subsim/internal/obs/timeline"
 )
 
@@ -269,6 +270,13 @@ type MetricSet struct {
 	ThetaTight IntGauge
 	ThetaSaved Counter
 
+	// flightRec mirrors the coordinator-stream journal recorder of an
+	// attached flight recorder (see Tracer.EnableFlight) so the bound/θ
+	// publishers can journal their updates with one atomic load. Nil —
+	// and therefore free, per the flight nil contract — until a flight
+	// recorder is attached.
+	flightRec atomic.Pointer[flight.Recorder]
+
 	mu         sync.Mutex
 	workers    []*Counter
 	workerBusy []*Counter
@@ -355,10 +363,11 @@ func (m *MetricSet) WorkerBusySnapshot() []int64 {
 
 // SetBounds publishes the latest certified bounds and the round that
 // produced them; the live /progress endpoint reads them back. Nil-safe,
-// allocation-free: four atomic stores. Round is stored last so a
-// reader that observes round i sees bounds from round i or newer —
-// never a fresh round number over stale bounds (the ordering contract
-// documented in DESIGN.md "Live telemetry plane").
+// allocation-free: four atomic stores, plus a journal event when a
+// flight recorder is attached. Round is stored last so a reader that
+// observes round i sees bounds from round i or newer — never a fresh
+// round number over stale bounds (the ordering contract documented in
+// DESIGN.md "Live telemetry plane").
 func (m *MetricSet) SetBounds(round int, lower, upper, approx float64) {
 	if m == nil {
 		return
@@ -367,16 +376,19 @@ func (m *MetricSet) SetBounds(round int, lower, upper, approx float64) {
 	m.Upper.Set(upper)
 	m.Approx.Set(approx)
 	m.Round.Set(int64(round))
+	m.flightRec.Load().Emit(flight.KindBounds, "", int64(round), 0, lower, upper, approx)
 }
 
 // SetTheta publishes the run's worst-case and tightened RR sample
-// budgets. Nil-safe, allocation-free: two atomic stores.
+// budgets. Nil-safe, allocation-free: two atomic stores, plus a journal
+// event when a flight recorder is attached.
 func (m *MetricSet) SetTheta(worst, tight int64) {
 	if m == nil {
 		return
 	}
 	m.ThetaWorst.Set(worst)
 	m.ThetaTight.Set(tight)
+	m.flightRec.Load().Emit(flight.KindTheta, "", worst, tight, 0, 0, 0)
 }
 
 // AddThetaSaved accumulates RR sample budget shaved off by an engaged

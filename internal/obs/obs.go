@@ -60,6 +60,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"subsim/internal/obs/flight"
 	"subsim/internal/obs/timeline"
 )
 
@@ -94,6 +95,23 @@ type Tracer struct {
 	roots   []*Span
 	meta    map[string]any
 	metrics *MetricSet
+
+	// flight is the attached flight recorder (see EnableFlight); the
+	// coordinator-stream journal recorder is mirrored in flightRec so the
+	// span hooks — including Span.End, which never takes the tracer
+	// mutex — reach it with one atomic load.
+	flight    *Flight
+	flightRec atomic.Pointer[flight.Recorder]
+}
+
+// flightRecorder returns the journal recorder for span events (nil when
+// no flight recorder is attached, making every hook a no-op via the
+// flight package's nil contract).
+func (t *Tracer) flightRecorder() *flight.Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.flightRec.Load()
 }
 
 // NewTracer returns an enabled tracer with a fresh MetricSet.
@@ -206,6 +224,7 @@ func (t *Tracer) Span(name string) *Span {
 	t.mu.Lock()
 	t.roots = append(t.roots, s)
 	t.mu.Unlock()
+	t.flightRecorder().Emit(flight.KindSpanOpen, name, s.startNS, 0, 0, 0, 0)
 	return s
 }
 
@@ -230,6 +249,7 @@ func (s *Span) Child(name string) *Span {
 		next[len(*old)] = c
 	}
 	s.children.Store(&next)
+	s.tracer.flightRecorder().Emit(flight.KindSpanOpen, name, c.startNS, 0, 0, 0, 0)
 	return c
 }
 
@@ -240,7 +260,11 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	s.endNS.CompareAndSwap(0, s.tracer.now())
+	if s.endNS.CompareAndSwap(0, s.tracer.now()) {
+		// First close only: the journal sees each span transition once.
+		// A is the span's start offset, so close events carry duration.
+		s.tracer.flightRecorder().Emit(flight.KindSpanClose, s.name, s.startNS, 0, 0, 0, 0)
+	}
 }
 
 // EndNS returns the span's end offset in nanoseconds since the trace

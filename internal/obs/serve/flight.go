@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+
+	"subsim/internal/obs/flight"
+)
+
+// EventsSchema / EventsVersion identify the /events response document:
+// a journal snapshot (possibly tail-truncated by ?n=) wrapped in the
+// same schema envelope the bundle's journal.json uses, plus the
+// truncation marker.
+const (
+	EventsSchema  = "subsim.flight-journal"
+	EventsVersion = 1
+)
+
+// eventsDoc is the /events response body.
+type eventsDoc struct {
+	Schema    string         `json:"schema"`
+	Version   int            `json:"version"`
+	Streams   int            `json:"streams"`
+	Written   int64          `json:"written"`
+	Dropped   int64          `json:"dropped"`
+	Truncated bool           `json:"truncated,omitempty"`
+	Events    []flight.Event `json:"events"`
+}
+
+// handleEvents serves the flight recorder's journal tail as JSON (404
+// until Tracer.EnableFlight is called). ?n= caps the number of events
+// returned (most recent first in time order; default 256, 0 = all).
+func (p *Plane) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := p.tracer.FlightJournal()
+	if j == nil {
+		http.Error(w, "no flight recorder enabled", http.StatusNotFound)
+		return
+	}
+	limit := 256
+	if s := r.URL.Query().Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	snap := j.Snapshot()
+	doc := eventsDoc{
+		Schema:  EventsSchema,
+		Version: EventsVersion,
+		Streams: snap.Streams,
+		Written: snap.Written,
+		Dropped: snap.Dropped,
+		Events:  snap.Events,
+	}
+	if limit > 0 && len(doc.Events) > limit {
+		doc.Events = doc.Events[len(doc.Events)-limit:]
+		doc.Truncated = true
+	}
+	if doc.Events == nil {
+		doc.Events = []flight.Event{}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleBundle writes a diagnostic bundle to disk — same artifact set as
+// a panic or watchdog bundle, reason "http" — and returns its manifest
+// plus on-disk path as JSON (404 until Tracer.EnableFlight is called).
+func (p *Plane) handleBundle(w http.ResponseWriter, _ *http.Request) {
+	f := p.tracer.Flight()
+	if f == nil {
+		http.Error(w, "no flight recorder enabled", http.StatusNotFound)
+		return
+	}
+	path, err := f.WriteBundle("http")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	man, err := flight.ReadManifest(path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Path string `json:"path"`
+		flight.Manifest
+	}{Path: path, Manifest: man})
+}

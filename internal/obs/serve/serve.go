@@ -18,6 +18,10 @@
 //	           Tracer.EnableTimeline was called
 //	/trace     the execution timeline as Chrome trace-event JSON —
 //	           load it in Perfetto or chrome://tracing
+//	/events    the flight recorder's black-box journal tail (JSON; ?n=
+//	           caps the event count), once Tracer.EnableFlight was called
+//	/debug/bundle  write a diagnostic bundle to disk and return its
+//	           manifest (see internal/obs/flight)
 //	/debug/*   net/http/pprof and expvar (when Options.Debug)
 //
 // Construct a Plane with New, mount Handler on any mux or call Start to
@@ -94,6 +98,8 @@ func NewWithOptions(tr *obs.Tracer, o Options) *Plane {
 	p.mux.HandleFunc("GET /report", p.handleReport)
 	p.mux.HandleFunc("GET /timeline", p.handleTimeline)
 	p.mux.HandleFunc("GET /trace", p.handleTrace)
+	p.mux.HandleFunc("GET /events", p.handleEvents)
+	p.mux.HandleFunc("GET /debug/bundle", p.handleBundle)
 	p.mux.HandleFunc("GET /{$}", p.handleIndex)
 	if o.Debug {
 		p.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -191,6 +197,8 @@ func (p *Plane) handleIndex(w http.ResponseWriter, _ *http.Request) {
 		"  /report    full run report (JSON)\n"+
 		"  /timeline  per-worker execution-timeline summary (JSON)\n"+
 		"  /trace     Chrome trace-event export (load in Perfetto)\n"+
+		"  /events    flight-recorder journal tail (JSON, add ?n= to cap)\n"+
+		"  /debug/bundle  write a diagnostic bundle, return its manifest\n"+
 		"  /debug/    pprof and expvar\n")
 }
 

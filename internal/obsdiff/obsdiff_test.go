@@ -1,4 +1,4 @@
-package main
+package obsdiff
 
 import (
 	"bytes"
@@ -12,9 +12,9 @@ import (
 
 func mustLoad(t *testing.T, path string) *obs.Report {
 	t.Helper()
-	r, err := loadReport(path)
+	r, err := LoadReport(path)
 	if err != nil {
-		t.Fatalf("loadReport(%s): %v", path, err)
+		t.Fatalf("LoadReport(%s): %v", path, err)
 	}
 	return r
 }
@@ -75,7 +75,7 @@ func TestRegressedFixtureFails(t *testing.T) {
 
 func TestRunExitCodes(t *testing.T) {
 	var buf bytes.Buffer
-	if code := run([]string{"testdata/base.json", "testdata/base.json"}, &buf); code != 0 {
+	if code := Run([]string{"testdata/base.json", "testdata/base.json"}, &buf); code != 0 {
 		t.Fatalf("self-compare exit = %d, want 0\n%s", code, buf.String())
 	}
 	if !strings.Contains(buf.String(), "ok: within") {
@@ -83,7 +83,7 @@ func TestRunExitCodes(t *testing.T) {
 	}
 
 	buf.Reset()
-	if code := run([]string{"testdata/base.json", "testdata/regressed.json"}, &buf); code != 1 {
+	if code := Run([]string{"testdata/base.json", "testdata/regressed.json"}, &buf); code != 1 {
 		t.Fatalf("regressed compare exit = %d, want 1\n%s", code, buf.String())
 	}
 	if !strings.Contains(buf.String(), "REGRESSED") {
@@ -91,18 +91,18 @@ func TestRunExitCodes(t *testing.T) {
 	}
 
 	buf.Reset()
-	if code := run([]string{"testdata/base.json"}, &buf); code != 2 {
+	if code := Run([]string{"testdata/base.json"}, &buf); code != 2 {
 		t.Fatalf("missing-arg exit = %d, want 2", code)
 	}
 	buf.Reset()
-	if code := run([]string{"testdata/base.json", "testdata/nosuch.json"}, &buf); code != 2 {
+	if code := Run([]string{"testdata/base.json", "testdata/nosuch.json"}, &buf); code != 2 {
 		t.Fatalf("missing-file exit = %d, want 2", code)
 	}
 }
 
 func TestRunJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if code := run([]string{"-json", "testdata/base.json", "testdata/regressed.json"}, &buf); code != 1 {
+	if code := Run([]string{"-json", "testdata/base.json", "testdata/regressed.json"}, &buf); code != 1 {
 		t.Fatalf("exit = %d, want 1", code)
 	}
 	var d Diff
@@ -122,14 +122,14 @@ func TestSchemaValidation(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"schema":"other","version":1}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadReport(bad); err == nil {
-		t.Fatal("loadReport accepted wrong schema")
+	if _, err := LoadReport(bad); err == nil {
+		t.Fatal("LoadReport accepted wrong schema")
 	}
 	badVer := t.TempDir() + "/badver.json"
 	if err := os.WriteFile(badVer, []byte(`{"schema":"subsim.run-report","version":99}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadReport(badVer); err == nil {
-		t.Fatal("loadReport accepted wrong version")
+	if _, err := LoadReport(badVer); err == nil {
+		t.Fatal("LoadReport accepted wrong version")
 	}
 }
